@@ -1,0 +1,125 @@
+package ompss_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/bsc-repro/ompss"
+	"github.com/bsc-repro/ompss/internal/apps"
+)
+
+// Ablation benchmarks for the runtime mechanisms DESIGN.md calls out:
+// each sub-benchmark runs the cluster or multi-GPU Matmul with one
+// mechanism toggled and reports the achieved GFLOPS, so the contribution
+// of every optimization is measurable in isolation.
+
+func reportMatmul(b *testing.B, cfg ompss.Config, p apps.MatmulParams) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := apps.MatmulOmpSs(cfg, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Metric, "GFLOPS")
+	}
+}
+
+func multiGPUMatmulCfg() ompss.Config {
+	return ompss.Config{
+		Cluster:          ompss.MultiGPUSystem(4),
+		Scheduler:        ompss.Dependencies,
+		CachePolicy:      ompss.WriteBack,
+		NonBlockingCache: true,
+		Steal:            true,
+	}
+}
+
+func clusterMatmulCfg(nodes int) ompss.Config {
+	return ompss.Config{
+		Cluster:          ompss.GPUCluster(nodes),
+		Scheduler:        ompss.Affinity,
+		CachePolicy:      ompss.WriteBack,
+		NonBlockingCache: true,
+		Steal:            true,
+		SlaveToSlave:     true,
+		Presend:          2,
+	}
+}
+
+var ablationParams = apps.MatmulParams{N: 12288, BS: 1024}
+
+// BenchmarkAblationOverlap toggles transfer/compute overlap (the paper's
+// opt-in CUDA-streams mechanism with its pinned-staging cost).
+func BenchmarkAblationOverlap(b *testing.B) {
+	for _, overlap := range []bool{false, true} {
+		b.Run(fmt.Sprintf("overlap=%v", overlap), func(b *testing.B) {
+			cfg := multiGPUMatmulCfg()
+			cfg.Overlap = overlap
+			reportMatmul(b, cfg, ablationParams)
+		})
+	}
+}
+
+// BenchmarkAblationPrefetch toggles the GPU manager's next-task data
+// prefetch (most effective combined with overlap, as the paper notes).
+func BenchmarkAblationPrefetch(b *testing.B) {
+	for _, prefetch := range []bool{false, true} {
+		b.Run(fmt.Sprintf("prefetch=%v", prefetch), func(b *testing.B) {
+			cfg := multiGPUMatmulCfg()
+			cfg.Overlap = true
+			cfg.Prefetch = prefetch
+			reportMatmul(b, cfg, ablationParams)
+		})
+	}
+}
+
+// BenchmarkAblationNonBlockingCache toggles concurrent input staging.
+func BenchmarkAblationNonBlockingCache(b *testing.B) {
+	for _, nb := range []bool{false, true} {
+		b.Run(fmt.Sprintf("nonblocking=%v", nb), func(b *testing.B) {
+			cfg := multiGPUMatmulCfg()
+			cfg.NonBlockingCache = nb
+			reportMatmul(b, cfg, ablationParams)
+		})
+	}
+}
+
+// BenchmarkAblationSteal toggles work stealing between the affinity
+// scheduler's per-GPU queues.
+func BenchmarkAblationSteal(b *testing.B) {
+	for _, steal := range []bool{false, true} {
+		b.Run(fmt.Sprintf("steal=%v", steal), func(b *testing.B) {
+			cfg := multiGPUMatmulCfg()
+			cfg.Scheduler = ompss.Affinity
+			cfg.Steal = steal
+			reportMatmul(b, cfg, ablationParams)
+		})
+	}
+}
+
+// BenchmarkAblationPresend sweeps the presend depth on a 4-node cluster.
+func BenchmarkAblationPresend(b *testing.B) {
+	for _, presend := range []int{0, 1, 2, 4} {
+		b.Run(fmt.Sprintf("presend=%d", presend), func(b *testing.B) {
+			cfg := clusterMatmulCfg(4)
+			cfg.Presend = presend
+			p := ablationParams
+			p.Init = apps.InitSMP
+			reportMatmul(b, cfg, p)
+		})
+	}
+}
+
+// BenchmarkAblationSlaveToSlave toggles direct slave transfers on an
+// 8-node cluster.
+func BenchmarkAblationSlaveToSlave(b *testing.B) {
+	for _, stos := range []bool{false, true} {
+		b.Run(fmt.Sprintf("stos=%v", stos), func(b *testing.B) {
+			cfg := clusterMatmulCfg(8)
+			cfg.SlaveToSlave = stos
+			p := ablationParams
+			p.Init = apps.InitSMP
+			reportMatmul(b, cfg, p)
+		})
+	}
+}

@@ -1,0 +1,54 @@
+package ompss_test
+
+import (
+	"testing"
+
+	"github.com/bsc-repro/ompss/internal/bench"
+)
+
+// One benchmark per table/figure of the paper's evaluation. Each iteration
+// regenerates the complete figure at the paper's problem sizes; the rows
+// themselves are printed by cmd/ompss-bench (the benchmark reports the
+// figure's headline value as a custom metric). Run with
+//
+//	go test -bench=. -benchmem -benchtime=1x .
+//
+// to regenerate every figure once.
+
+func runExperiment(b *testing.B, name string) {
+	b.Helper()
+	e, ok := bench.ByName(name)
+	if !ok {
+		b.Fatalf("unknown experiment %s", name)
+	}
+	for i := 0; i < b.N; i++ {
+		rows, err := e.Run(bench.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows produced")
+		}
+		// Report the best value of the figure as a custom metric so shape
+		// regressions are visible in benchmark diffs.
+		best := rows[0]
+		for _, r := range rows {
+			if r.Value > best.Value {
+				best = r
+			}
+		}
+		b.ReportMetric(best.Value, "best_"+best.Unit)
+		b.ReportMetric(float64(len(rows)), "rows")
+	}
+}
+
+func BenchmarkFig5(b *testing.B)   { runExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)   { runExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)   { runExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)   { runExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)   { runExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)  { runExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)  { runExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)  { runExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B)  { runExperiment(b, "fig13") }
+func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1") }

@@ -1,0 +1,93 @@
+// Command ompss-bench regenerates the tables and figures of the paper's
+// evaluation. Each experiment prints the rows/series the paper plots.
+//
+// Usage:
+//
+//	ompss-bench -experiment fig5          # one figure, paper-scale sizes
+//	ompss-bench -experiment all -quick    # everything, reduced sizes
+//	ompss-bench -list                     # enumerate experiments
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"github.com/bsc-repro/ompss/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment to run (fig5..fig13, table1, all)")
+		quick      = flag.Bool("quick", false, "reduced problem sizes (seconds instead of minutes)")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		csvPath    = flag.String("csv", "", "also write all rows to this CSV file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-8s %s\n", e.Name, e.Title)
+		}
+		return
+	}
+
+	opts := bench.Options{Quick: *quick}
+	var todo []bench.Experiment
+	if *experiment == "all" {
+		todo = bench.All()
+	} else {
+		e, ok := bench.ByName(*experiment)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *experiment)
+			os.Exit(2)
+		}
+		todo = []bench.Experiment{e}
+	}
+
+	var all []bench.Row
+	for _, e := range todo {
+		fmt.Printf("== %s: %s\n", e.Name, e.Title)
+		start := time.Now()
+		rows, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		for _, r := range rows {
+			fmt.Println(r)
+		}
+		all = append(all, rows...)
+		fmt.Printf("-- %s: %d rows in %v\n\n", e.Name, len(rows), time.Since(start).Round(time.Millisecond))
+	}
+	if *csvPath != "" {
+		if err := writeCSV(*csvPath, all); err != nil {
+			fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d rows to %s\n", len(all), *csvPath)
+	}
+}
+
+// writeCSV dumps rows as experiment,config,value,unit.
+func writeCSV(path string, rows []bench.Row) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"experiment", "config", "value", "unit"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := w.Write([]string{r.Experiment, r.Config, strconv.FormatFloat(r.Value, 'f', -1, 64), r.Unit}); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

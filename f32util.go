@@ -1,0 +1,19 @@
+package ompss
+
+import "unsafe"
+
+// unsafeF32 reinterprets backing bytes as float32s.
+func unsafeF32(b []byte) []float32 {
+	if len(b) < 4 {
+		return nil
+	}
+	return unsafe.Slice((*float32)(unsafe.Pointer(&b[0])), len(b)/4)
+}
+
+// unsafeF64 reinterprets backing bytes as float64s.
+func unsafeF64(b []byte) []float64 {
+	if len(b) < 8 {
+		return nil
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), len(b)/8)
+}

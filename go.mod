@@ -1,0 +1,3 @@
+module github.com/bsc-repro/ompss
+
+go 1.22

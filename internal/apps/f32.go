@@ -1,0 +1,20 @@
+package apps
+
+import "unsafe"
+
+// f32view reinterprets a byte buffer as float32s without copying; nil for
+// short or absent buffers (cost-only mode).
+func f32view(b []byte) []float32 {
+	if len(b) < 4 {
+		return nil
+	}
+	return unsafe.Slice((*float32)(unsafe.Pointer(&b[0])), len(b)/4)
+}
+
+// f64view reinterprets a byte buffer as float64s without copying.
+func f64view(b []byte) []float64 {
+	if len(b) < 8 {
+		return nil
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), len(b)/8)
+}

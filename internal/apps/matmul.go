@@ -1,0 +1,107 @@
+package apps
+
+import (
+	"fmt"
+
+	"github.com/bsc-repro/ompss"
+	"github.com/bsc-repro/ompss/internal/kernels"
+)
+
+// MatmulParams configures the Matrix Multiply experiment (Section IV.A.2:
+// 12288 x 12288 single-precision floats in 1024 x 1024 blocks).
+type MatmulParams struct {
+	N  int // matrix dimension
+	BS int // tile dimension
+	// Init selects how the matrices are initialized before the product
+	// (the Fig. 9 "seq" / "smp" / "gpu" parameter).
+	Init InitMode
+}
+
+// InitMode is the initialization strategy of the cluster Matmul experiment.
+type InitMode string
+
+const (
+	// InitSeq initializes all data sequentially on the master node.
+	InitSeq InitMode = "seq"
+	// InitSMP initializes in parallel with SMP tasks across the cluster.
+	InitSMP InitMode = "smp"
+	// InitGPU initializes in parallel with CUDA tasks on the GPUs.
+	InitGPU InitMode = "gpu"
+)
+
+func (p MatmulParams) validate() {
+	if p.N <= 0 || p.BS <= 0 || p.N%p.BS != 0 {
+		panic(fmt.Sprintf("apps: bad matmul params N=%d BS=%d", p.N, p.BS))
+	}
+}
+
+func (p MatmulParams) flops() float64 {
+	n := float64(p.N)
+	return 2 * n * n * n
+}
+
+// chunks picks the number of initialization chunks: a few per node so that
+// a chunk fits comfortably in one GPU even for the gpu-init mode.
+func (p MatmulParams) chunks(cfg ompss.Config) int {
+	c := len(cfg.Cluster.Nodes)
+	if c < 4 {
+		c = 4 // several chunks even on small machines, so a chunk fits a GPU
+	}
+	nt := p.N / p.BS
+	for c > nt*nt {
+		c /= 2
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// initMatrices runs the initialization phase of the Matmul experiment in
+// the selected mode (Fig. 9 studies its impact on the cluster): seq fills
+// everything on the master; smp/gpu initialize in 2D chunks — the scalable
+// data decomposition the paper's cluster applications use — so each chunk,
+// and the sgemm chains that follow it, lands wholly on one node.
+func initMatrices(ctx *ompss.Context, cfg ompss.Config, p MatmulParams, a, b, c []ompss.Region) {
+	nt := p.N / p.BS
+	switch p.Init {
+	case InitSeq:
+		for t := 0; t < nt*nt; t++ {
+			seedA, seedB := uint32(t), uint32(t+nt*nt)
+			ctx.InitSeq(a[t], func(buf []byte) {
+				copy(f32view(buf), fillPattern(len(buf)/4, seedA))
+			})
+			ctx.InitSeq(b[t], func(buf []byte) {
+				copy(f32view(buf), fillPattern(len(buf)/4, seedB))
+			})
+			ctx.InitSeq(c[t], nil)
+		}
+	case InitSMP, InitGPU:
+		dev := ompss.SMP
+		if p.Init == InitGPU {
+			dev = ompss.CUDA
+		}
+		chunks := p.chunks(cfg)
+		pr, pc := gridShape(chunks)
+		if nt%pr != 0 || nt%pc != 0 {
+			pr, pc = 1, 1 // degenerate fallback: one chunk
+		}
+		for r := 0; r < pr; r++ {
+			for cc := 0; cc < pc; cc++ {
+				var tiles []ompss.Region
+				var seeds []uint32
+				for i := r * (nt / pr); i < (r+1)*(nt/pr); i++ {
+					for j := cc * (nt / pc); j < (cc+1)*(nt/pc); j++ {
+						t := i*nt + j
+						tiles = append(tiles, a[t], b[t], c[t])
+						seeds = append(seeds, uint32(t), uint32(t+nt*nt), kernels.ZeroSeed)
+					}
+				}
+				ctx.Task(kernels.FillChunk{Tiles: tiles, Seeds: seeds},
+					ompss.Target(dev), ompss.Out(tiles...))
+			}
+		}
+	default:
+		panic("apps: unknown init mode " + string(p.Init))
+	}
+}

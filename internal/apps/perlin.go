@@ -1,0 +1,25 @@
+package apps
+
+import "fmt"
+
+// PerlinParams configures the Perlin noise filter (Section IV.A.2: a
+// 1024 x 1024 image, applied as a sequence of filter steps).
+type PerlinParams struct {
+	Width, Height int
+	RowsPerBlock  int
+	Steps         int
+	// Flush selects the paper's "Flush" variant: the image is sent back to
+	// host memory after every filter step. The "NoFlush" variant keeps it
+	// on the GPUs between steps.
+	Flush bool
+}
+
+func (p PerlinParams) validate() {
+	if p.Width <= 0 || p.Height <= 0 || p.RowsPerBlock <= 0 || p.Height%p.RowsPerBlock != 0 {
+		panic(fmt.Sprintf("apps: bad perlin params %+v", p))
+	}
+}
+
+func (p PerlinParams) mpixels() float64 {
+	return float64(p.Width) * float64(p.Height) * float64(p.Steps) / 1e6
+}

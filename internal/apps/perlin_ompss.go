@@ -1,0 +1,55 @@
+package apps
+
+import (
+	"fmt"
+
+	"github.com/bsc-repro/ompss"
+	"github.com/bsc-repro/ompss/internal/kernels"
+)
+
+// PerlinOmpSs generates Steps frames of Perlin noise over a row-blocked
+// image; each block is one CUDA task per step.
+func PerlinOmpSs(cfg ompss.Config, p PerlinParams) (Result, error) {
+	p.validate()
+	nb := p.Height / p.RowsPerBlock
+	blockBytes := uint64(p.Width) * uint64(p.RowsPerBlock) * 4
+	rt := ompss.New(cfg)
+	var res Result
+	stats, err := rt.Run(func(ctx *ompss.Context) {
+		blocks := make([]ompss.Region, nb)
+		for i := range blocks {
+			blocks[i] = ctx.Alloc(blockBytes)
+		}
+		start := ctx.Now()
+		for s := 0; s < p.Steps; s++ {
+			for i := range blocks {
+				ctx.Task(kernels.Perlin{
+					Img: blocks[i], Width: p.Width,
+					Row0: i * p.RowsPerBlock, Rows: p.RowsPerBlock, Step: s,
+				}, ompss.Target(ompss.CUDA), ompss.Out(blocks[i]))
+			}
+			if p.Flush {
+				// The Flush variant moves the frame back to host memory
+				// after each computation step.
+				ctx.TaskWait()
+			}
+		}
+		if !p.Flush {
+			ctx.TaskWaitNoflush()
+		}
+		res.ElapsedSeconds = (ctx.Now() - start).Seconds()
+
+		if cfg.Validate {
+			ctx.TaskWait()
+			var sum float64
+			for _, blk := range blocks {
+				sum += checksum(ctx.HostBytes(blk))
+			}
+			res.Check = fmt.Sprintf("img-sum=%.3f", sum)
+		}
+	})
+	res.Stats = stats
+	res.Metric = p.mpixels() / res.ElapsedSeconds
+	res.MetricName = "Mpixels/s"
+	return res, err
+}

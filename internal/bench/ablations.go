@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/bsc-repro/ompss"
+	"github.com/bsc-repro/ompss/internal/apps"
+)
+
+// Ablations isolates each runtime mechanism on the Matmul workload —
+// the design-choice studies DESIGN.md §5 calls for, beyond the paper's
+// own parameter grid. Also available as Go benchmarks in
+// ablation_bench_test.go.
+func Ablations(o Options) ([]Row, error) {
+	p := fig5Params(o)
+	pCluster := fig9MatmulParams(o)
+	pCluster.Init = apps.InitSMP
+
+	multi := func(mutate func(*ompss.Config)) (float64, error) {
+		cfg := multiGPUConfig(4, "wb", defaultSched())
+		mutate(&cfg)
+		res, err := apps.MatmulOmpSs(cfg, p)
+		return res.Metric, err
+	}
+	cluster := func(nodes int, mutate func(*ompss.Config)) (float64, error) {
+		cfg := clusterConfig(nodes)
+		cfg.SlaveToSlave = true
+		cfg.Presend = 2
+		mutate(&cfg)
+		res, err := apps.MatmulOmpSs(cfg, pCluster)
+		return res.Metric, err
+	}
+
+	var rows []Row
+	add := func(config string, v float64, err error) error {
+		if err != nil {
+			return fmt.Errorf("ablations %s: %w", config, err)
+		}
+		rows = append(rows, Row{Experiment: "ablations", Config: config, Value: v, Unit: "GFLOPS"})
+		return nil
+	}
+
+	for _, on := range []bool{false, true} {
+		v, err := multi(func(c *ompss.Config) { c.Overlap = on })
+		if e := add(fmt.Sprintf("4gpu overlap=%v", on), v, err); e != nil {
+			return rows, e
+		}
+	}
+	for _, on := range []bool{false, true} {
+		v, err := multi(func(c *ompss.Config) { c.Overlap = true; c.Prefetch = on })
+		if e := add(fmt.Sprintf("4gpu overlap prefetch=%v", on), v, err); e != nil {
+			return rows, e
+		}
+	}
+	for _, on := range []bool{false, true} {
+		v, err := multi(func(c *ompss.Config) { c.NonBlockingCache = on })
+		if e := add(fmt.Sprintf("4gpu nonblocking=%v", on), v, err); e != nil {
+			return rows, e
+		}
+	}
+	for _, on := range []bool{false, true} {
+		v, err := multi(func(c *ompss.Config) { c.Scheduler = ompss.Affinity; c.Steal = on })
+		if e := add(fmt.Sprintf("4gpu affinity steal=%v", on), v, err); e != nil {
+			return rows, e
+		}
+	}
+	for _, presend := range []int{0, 1, 2, 4} {
+		v, err := cluster(4, func(c *ompss.Config) { c.Presend = presend })
+		if e := add(fmt.Sprintf("4node presend=%d", presend), v, err); e != nil {
+			return rows, e
+		}
+	}
+	for _, on := range []bool{false, true} {
+		v, err := cluster(8, func(c *ompss.Config) { c.SlaveToSlave = on })
+		if e := add(fmt.Sprintf("8node stos=%v", on), v, err); e != nil {
+			return rows, e
+		}
+	}
+	for _, threads := range []int{1, 2} {
+		v, err := cluster(8, func(c *ompss.Config) { c.CommThreads = threads })
+		if e := add(fmt.Sprintf("8node commthreads=%d", threads), v, err); e != nil {
+			return rows, e
+		}
+	}
+	return rows, nil
+}

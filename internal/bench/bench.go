@@ -1,0 +1,120 @@
+// Package bench defines one experiment per table and figure of the paper's
+// evaluation (Figures 5-13, Table I). Each experiment runs the relevant
+// application over the relevant machine and parameter grid and returns the
+// rows/series the paper plots. cmd/ompss-bench prints them; the root
+// bench_test.go exposes each as a testing.B benchmark; EXPERIMENTS.md
+// records paper-vs-measured.
+package bench
+
+import (
+	"fmt"
+
+	"github.com/bsc-repro/ompss"
+	"github.com/bsc-repro/ompss/internal/coherence"
+	"github.com/bsc-repro/ompss/internal/sched"
+)
+
+// Row is one data point of a figure: one bar or one series point.
+type Row struct {
+	Experiment string  // "fig5"
+	Config     string  // "4gpu wb affinity"
+	Value      float64 // the plotted metric
+	Unit       string  // "GFLOPS", "GB/s", "Mpixels/s", "lines"
+}
+
+func (r Row) String() string {
+	return fmt.Sprintf("%-6s %-42s %10.2f %s", r.Experiment, r.Config, r.Value, r.Unit)
+}
+
+// Options tunes experiment scale.
+type Options struct {
+	// Quick shrinks problem sizes so the whole suite runs in seconds while
+	// preserving every qualitative shape. Full sizes are the paper's.
+	Quick bool
+}
+
+// Experiment is a named, runnable table/figure reproduction.
+type Experiment struct {
+	Name  string
+	Title string
+	Run   func(Options) ([]Row, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig5", "Matrix multiply, multi-GPU node: cache policy x scheduler x GPUs", Fig5},
+		{"fig6", "STREAM, multi-GPU node: cache policy x scheduler x GPUs", Fig6},
+		{"fig7", "Perlin noise, multi-GPU node: Flush/NoFlush x cache policy x GPUs", Fig7},
+		{"fig8", "N-Body, multi-GPU node: cache policy x GPUs", Fig8},
+		{"fig9", "Matrix multiply, GPU cluster: StoS x init x presend x nodes", Fig9},
+		{"fig10", "Matrix multiply, GPU cluster: best OmpSs vs MPI+CUDA (SUMMA)", Fig10},
+		{"fig11", "STREAM, GPU cluster: OmpSs vs MPI+CUDA", Fig11},
+		{"fig12", "Perlin noise, GPU cluster: Flush/NoFlush, OmpSs vs MPI+CUDA", Fig12},
+		{"fig13", "N-Body, GPU cluster: OmpSs vs MPI+CUDA", Fig13},
+		{"table1", "Useful lines of code: Serial vs CUDA vs MPI+CUDA vs OmpSs", Table1},
+		{"ablations", "Runtime-mechanism ablations on Matmul (beyond the paper's grid)", Ablations},
+	}
+}
+
+// ByName returns the experiment called name.
+func ByName(name string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Names returns the experiment names in order.
+func Names() []string {
+	var out []string
+	for _, e := range All() {
+		out = append(out, e.Name)
+	}
+	return out
+}
+
+// policies and schedulers in the order the paper's charts group them.
+var (
+	cachePolicies = []coherence.Policy{coherence.NoCache, coherence.WriteThrough, coherence.WriteBack}
+	schedulers    = []sched.Policy{sched.BreadthFirst, sched.Dependencies, sched.Affinity}
+)
+
+// schedLabel matches the paper's chart legend.
+func schedLabel(p sched.Policy) string {
+	switch p {
+	case sched.BreadthFirst:
+		return "bf"
+	case sched.Dependencies:
+		return "default"
+	case sched.Affinity:
+		return "affinity"
+	}
+	return string(p)
+}
+
+// multiGPUConfig is the baseline configuration of the multi-GPU node runs.
+func multiGPUConfig(gpus int, policy coherence.Policy, scheduler sched.Policy) ompss.Config {
+	return ompss.Config{
+		Cluster:          ompss.MultiGPUSystem(gpus),
+		Scheduler:        scheduler,
+		CachePolicy:      policy,
+		NonBlockingCache: true,
+		Steal:            true,
+	}
+}
+
+// clusterConfig is the baseline configuration of the GPU-cluster runs,
+// using the best multi-GPU parameters (write-back cache, locality-aware
+// scheduler), as Section IV.B.2 does.
+func clusterConfig(nodes int) ompss.Config {
+	return ompss.Config{
+		Cluster:          ompss.GPUCluster(nodes),
+		Scheduler:        sched.Affinity,
+		CachePolicy:      coherence.WriteBack,
+		NonBlockingCache: true,
+		Steal:            true,
+	}
+}

@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/bsc-repro/ompss"
+	"github.com/bsc-repro/ompss/internal/apps"
+	"github.com/bsc-repro/ompss/internal/sched"
+)
+
+// nodeCounts are the paper's cluster sizes.
+var nodeCounts = []int{1, 2, 4, 8}
+
+func defaultSched() sched.Policy { return sched.Dependencies }
+
+// fig9MatmulParams returns the cluster Matmul sizes.
+func fig9MatmulParams(o Options) apps.MatmulParams {
+	if o.Quick {
+		return apps.MatmulParams{N: 4096, BS: 512}
+	}
+	return apps.MatmulParams{N: 12288, BS: 1024}
+}
+
+// Fig9 reproduces Figure 9: cluster Matmul over nodes x {MtoS, StoS} x
+// init {seq, smp, gpu} x presend {0, 1, 2}.
+func Fig9(o Options) ([]Row, error) {
+	p := fig9MatmulParams(o)
+	var rows []Row
+	for _, nodes := range nodeCounts {
+		for _, stos := range []bool{false, true} {
+			route := "MtoS"
+			if stos {
+				route = "StoS"
+			}
+			for _, init := range []apps.InitMode{apps.InitSeq, apps.InitSMP, apps.InitGPU} {
+				for _, presend := range []int{0, 1, 2} {
+					cfg := clusterConfig(nodes)
+					cfg.SlaveToSlave = stos
+					cfg.Presend = presend
+					pp := p
+					pp.Init = init
+					res, err := apps.MatmulOmpSs(cfg, pp)
+					if err != nil {
+						return rows, fmt.Errorf("fig9 %dn %s %s p%d: %w", nodes, route, init, presend, err)
+					}
+					rows = append(rows, Row{
+						Experiment: "fig9",
+						Config:     fmt.Sprintf("%dnode %s %s presend%d", nodes, route, init, presend),
+						Value:      res.Metric, Unit: res.MetricName,
+					})
+				}
+			}
+		}
+	}
+	return rows, nil
+}
+
+// bestClusterMatmulConfig is the winning Figure 9 setup used in Figure 10:
+// slave-to-slave transfers, parallel SMP initialization, presend.
+func bestClusterMatmulConfig(nodes int) ompss.Config {
+	cfg := clusterConfig(nodes)
+	cfg.SlaveToSlave = true
+	cfg.Presend = 2
+	return cfg
+}
+
+// Fig10 reproduces Figure 10: best OmpSs Matmul vs the MPI+CUDA SUMMA.
+func Fig10(o Options) ([]Row, error) {
+	p := fig9MatmulParams(o)
+	p.Init = apps.InitSMP
+	var rows []Row
+	for _, nodes := range nodeCounts {
+		res, err := apps.MatmulOmpSs(bestClusterMatmulConfig(nodes), p)
+		if err != nil {
+			return rows, fmt.Errorf("fig10 ompss %dn: %w", nodes, err)
+		}
+		rows = append(rows, Row{Experiment: "fig10",
+			Config: fmt.Sprintf("%dnode ompss", nodes), Value: res.Metric, Unit: res.MetricName})
+
+		mres, err := apps.MatmulMPICUDA(ompss.GPUCluster(nodes), fig9MatmulParams(o), false)
+		if err != nil {
+			return rows, fmt.Errorf("fig10 mpi %dn: %w", nodes, err)
+		}
+		rows = append(rows, Row{Experiment: "fig10",
+			Config: fmt.Sprintf("%dnode mpi+cuda", nodes), Value: mres.Metric, Unit: mres.MetricName})
+	}
+	return rows, nil
+}
+
+// fig11Params returns the cluster STREAM sizes (768 MB per node).
+func fig11Params(o Options, nodes int) apps.StreamParams {
+	perNodeElems := 32 << 20
+	block := 4 << 20
+	if o.Quick {
+		perNodeElems = 4 << 20
+		block = 512 << 10
+	}
+	return apps.StreamParams{N: nodes * perNodeElems, BSize: block, NTimes: 10, Scalar: 3}
+}
+
+// Fig11 reproduces Figure 11: cluster STREAM, OmpSs vs MPI+CUDA.
+func Fig11(o Options) ([]Row, error) {
+	var rows []Row
+	for _, nodes := range nodeCounts {
+		p := fig11Params(o, nodes)
+		cfg := clusterConfig(nodes)
+		cfg.SlaveToSlave = true
+		res, err := apps.StreamOmpSs(cfg, p)
+		if err != nil {
+			return rows, fmt.Errorf("fig11 ompss %dn: %w", nodes, err)
+		}
+		rows = append(rows, Row{Experiment: "fig11",
+			Config: fmt.Sprintf("%dnode ompss", nodes), Value: res.Metric, Unit: res.MetricName})
+
+		mres, err := apps.StreamMPICUDA(ompss.GPUCluster(nodes), p, false)
+		if err != nil {
+			return rows, fmt.Errorf("fig11 mpi %dn: %w", nodes, err)
+		}
+		rows = append(rows, Row{Experiment: "fig11",
+			Config: fmt.Sprintf("%dnode mpi+cuda", nodes), Value: mres.Metric, Unit: mres.MetricName})
+	}
+	return rows, nil
+}
+
+// Fig12 reproduces Figure 12: cluster Perlin, Flush vs NoFlush, OmpSs vs
+// MPI+CUDA.
+func Fig12(o Options) ([]Row, error) {
+	var rows []Row
+	for _, nodes := range nodeCounts {
+		for _, flush := range []bool{true, false} {
+			variant := "flush"
+			if !flush {
+				variant = "noflush"
+			}
+			p := fig7Params(o, flush)
+			cfg := clusterConfig(nodes)
+			cfg.SlaveToSlave = true
+			res, err := apps.PerlinOmpSs(cfg, p)
+			if err != nil {
+				return rows, fmt.Errorf("fig12 ompss %dn %s: %w", nodes, variant, err)
+			}
+			rows = append(rows, Row{Experiment: "fig12",
+				Config: fmt.Sprintf("%dnode %s ompss", nodes, variant),
+				Value:  res.Metric, Unit: res.MetricName})
+
+			mres, err := apps.PerlinMPICUDA(ompss.GPUCluster(nodes), p, false)
+			if err != nil {
+				return rows, fmt.Errorf("fig12 mpi %dn %s: %w", nodes, variant, err)
+			}
+			rows = append(rows, Row{Experiment: "fig12",
+				Config: fmt.Sprintf("%dnode %s mpi+cuda", nodes, variant),
+				Value:  mres.Metric, Unit: mres.MetricName})
+		}
+	}
+	return rows, nil
+}
+
+// fig13Params returns the cluster N-Body sizes (20000 bodies, 10
+// iterations, no artificial memory pressure).
+func fig13Params(o Options, nodes int) apps.NBodyParams {
+	p := apps.NBodyParams{N: 20000, Blocks: 2 * nodes, Iters: 10}
+	if o.Quick {
+		p.N = 4000
+	}
+	// Keep N divisible by both blocks and nodes.
+	for p.N%(p.Blocks*nodes) != 0 {
+		p.N++
+	}
+	return p
+}
+
+// Fig13 reproduces Figure 13: cluster N-Body, OmpSs vs MPI+CUDA.
+func Fig13(o Options) ([]Row, error) {
+	var rows []Row
+	for _, nodes := range nodeCounts {
+		p := fig13Params(o, nodes)
+		cfg := clusterConfig(nodes)
+		// The all-to-all pattern leaves no stable locality; the runtime's
+		// default (dependencies) scheduler distributes the force tasks by
+		// demand, which is the best setup for this application.
+		cfg.Scheduler = sched.Dependencies
+		cfg.SlaveToSlave = true
+		cfg.Presend = 2
+		res, err := apps.NBodyOmpSs(cfg, p)
+		if err != nil {
+			return rows, fmt.Errorf("fig13 ompss %dn: %w", nodes, err)
+		}
+		rows = append(rows, Row{Experiment: "fig13",
+			Config: fmt.Sprintf("%dnode ompss", nodes), Value: res.Metric, Unit: res.MetricName})
+
+		mres, err := apps.NBodyMPICUDA(ompss.GPUCluster(nodes), p, false)
+		if err != nil {
+			return rows, fmt.Errorf("fig13 mpi %dn: %w", nodes, err)
+		}
+		rows = append(rows, Row{Experiment: "fig13",
+			Config: fmt.Sprintf("%dnode mpi+cuda", nodes), Value: mres.Metric, Unit: mres.MetricName})
+	}
+	return rows, nil
+}

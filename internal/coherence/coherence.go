@@ -1,0 +1,342 @@
+// Package coherence implements the data-coherence support of the runtime
+// (Section III.C.3): a directory that tracks which address spaces hold the
+// current version of each region, and a software cache per device with its
+// own address space, supporting the paper's three policies — no-cache,
+// write-through and write-back — with LRU replacement and pinning of
+// regions in use by running tasks.
+//
+// Both structures are pure, deterministic bookkeeping: deciding *what* to
+// move. The runtime layers (internal/core) execute the movements on the
+// simulated interconnects and invoke these methods as transfers complete.
+// The hierarchy of the paper appears as one directory per runtime image:
+// the master's directory tracks whole cluster nodes as single locations,
+// and each node's directory tracks its host and its GPUs.
+package coherence
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/bsc-repro/ompss/internal/memspace"
+)
+
+// Policy is a cache write policy.
+type Policy string
+
+const (
+	// NoCache emulates moving data in and out on every task.
+	NoCache Policy = "nocache"
+	// WriteThrough propagates writes to the parent memory at task end but
+	// keeps the line resident for reuse.
+	WriteThrough Policy = "wt"
+	// WriteBack delays the write to parent memory until eviction or flush
+	// (the runtime default).
+	WriteBack Policy = "wb"
+)
+
+// Directory tracks, per region, the set of locations holding the current
+// version. A region with no entry is "homeless" — its first producer or
+// initializer establishes residence.
+type Directory struct {
+	entries map[uint64]*dirEntry
+}
+
+type dirEntry struct {
+	region  memspace.Region
+	version int
+	holders map[memspace.Location]bool
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{entries: make(map[uint64]*dirEntry)}
+}
+
+func (d *Directory) entry(r memspace.Region) *dirEntry {
+	en, ok := d.entries[r.Addr]
+	if !ok {
+		en = &dirEntry{region: r, holders: make(map[memspace.Location]bool)}
+		d.entries[r.Addr] = en
+	} else if en.region != r {
+		panic(fmt.Sprintf("coherence: region mismatch %v vs %v", en.region, r))
+	}
+	return en
+}
+
+// Init declares that loc holds the initial version of r (e.g. the master
+// host after serial initialization).
+func (d *Directory) Init(r memspace.Region, loc memspace.Location) {
+	en := d.entry(r)
+	en.holders[loc] = true
+}
+
+// Produced registers a new version of r produced at loc: loc becomes the
+// sole holder and the version number advances.
+func (d *Directory) Produced(r memspace.Region, loc memspace.Location) {
+	en := d.entry(r)
+	en.version++
+	for l := range en.holders {
+		delete(en.holders, l)
+	}
+	en.holders[loc] = true
+}
+
+// AddHolder records that loc received a copy of the current version.
+func (d *Directory) AddHolder(r memspace.Region, loc memspace.Location) {
+	en, ok := d.entries[r.Addr]
+	if !ok {
+		panic(fmt.Sprintf("coherence: AddHolder for unknown region %v", r))
+	}
+	en.holders[loc] = true
+}
+
+// DropHolder records that loc no longer holds r (eviction). Dropping the
+// last holder panics: the current version must live somewhere.
+func (d *Directory) DropHolder(r memspace.Region, loc memspace.Location) {
+	en, ok := d.entries[r.Addr]
+	if !ok || !en.holders[loc] {
+		return
+	}
+	if len(en.holders) == 1 {
+		panic(fmt.Sprintf("coherence: dropping last holder %v of %v", loc, r))
+	}
+	delete(en.holders, loc)
+}
+
+// IsHolder reports whether loc holds the current version of r.
+func (d *Directory) IsHolder(r memspace.Region, loc memspace.Location) bool {
+	en, ok := d.entries[r.Addr]
+	return ok && en.holders[loc]
+}
+
+// Known reports whether the directory has any residence information for r.
+func (d *Directory) Known(r memspace.Region) bool {
+	en, ok := d.entries[r.Addr]
+	return ok && len(en.holders) > 0
+}
+
+// Version returns the current version number of r (0 if never produced).
+func (d *Directory) Version(r memspace.Region) int {
+	if en, ok := d.entries[r.Addr]; ok {
+		return en.version
+	}
+	return 0
+}
+
+// Holders returns the locations holding the current version of r, in a
+// deterministic order (node, then device).
+func (d *Directory) Holders(r memspace.Region) []memspace.Location {
+	en, ok := d.entries[r.Addr]
+	if !ok {
+		return nil
+	}
+	out := make([]memspace.Location, 0, len(en.holders))
+	for l := range en.holders {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Dev < out[j].Dev
+	})
+	return out
+}
+
+// Regions returns all regions the directory knows, ordered by address.
+func (d *Directory) Regions() []memspace.Region {
+	out := make([]memspace.Region, 0, len(d.entries))
+	for _, en := range d.entries {
+		out = append(out, en.region)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// Line is one cached region.
+type Line struct {
+	Region memspace.Region
+	Dirty  bool
+	pins   int
+	lru    int64
+}
+
+// Cache is the software cache of one device address space.
+type Cache struct {
+	loc      memspace.Location
+	policy   Policy
+	capacity uint64
+	used     uint64
+	lines    map[uint64]*Line
+	clock    int64
+
+	// Stats
+	Hits      int
+	Misses    int
+	Evictions int
+}
+
+// NewCache returns a cache for device loc with the given byte capacity.
+func NewCache(loc memspace.Location, policy Policy, capacity uint64) *Cache {
+	return &Cache{loc: loc, policy: policy, capacity: capacity, lines: make(map[uint64]*Line)}
+}
+
+// Location returns the device this cache fronts.
+func (c *Cache) Location() memspace.Location { return c.loc }
+
+// Policy returns the cache's write policy.
+func (c *Cache) Policy() Policy { return c.policy }
+
+// Used returns the bytes currently resident.
+func (c *Cache) Used() uint64 { return c.used }
+
+// Capacity returns the configured capacity.
+func (c *Cache) Capacity() uint64 { return c.capacity }
+
+// Len returns the number of resident lines.
+func (c *Cache) Len() int { return len(c.lines) }
+
+// Lookup returns the line for r if resident, bumping its LRU position.
+func (c *Cache) Lookup(r memspace.Region) *Line {
+	l, ok := c.lines[r.Addr]
+	if !ok {
+		c.Misses++
+		return nil
+	}
+	if l.Region != r {
+		panic(fmt.Sprintf("coherence: cache line mismatch %v vs %v", l.Region, r))
+	}
+	c.Hits++
+	c.clock++
+	l.lru = c.clock
+	return l
+}
+
+// Contains reports residence without touching LRU or stats.
+func (c *Cache) Contains(r memspace.Region) bool {
+	_, ok := c.lines[r.Addr]
+	return ok
+}
+
+// MakeSpace returns the LRU lines that must be evicted so that size more
+// bytes fit, oldest first. Pinned lines are skipped. ok is false when even
+// evicting every unpinned line cannot make room (the caller must fall back,
+// e.g. run the task elsewhere or error out). The returned lines are still
+// resident: the caller writes back the dirty ones, then calls Remove.
+func (c *Cache) MakeSpace(size uint64) (victims []*Line, ok bool) {
+	if size > c.capacity {
+		return nil, false
+	}
+	if c.used+size <= c.capacity {
+		return nil, true
+	}
+	// Collect unpinned lines oldest-first.
+	var cand []*Line
+	for _, l := range c.lines {
+		if l.pins == 0 {
+			cand = append(cand, l)
+		}
+	}
+	sort.Slice(cand, func(i, j int) bool { return cand[i].lru < cand[j].lru })
+	need := c.used + size - c.capacity
+	var freed uint64
+	for _, l := range cand {
+		if freed >= need {
+			break
+		}
+		victims = append(victims, l)
+		freed += l.Region.Size
+	}
+	if freed < need {
+		return nil, false
+	}
+	return victims, true
+}
+
+// Insert adds r as a resident line. The caller must have made space;
+// Insert panics if capacity would be exceeded or the line exists.
+func (c *Cache) Insert(r memspace.Region, dirty bool) *Line {
+	if _, dup := c.lines[r.Addr]; dup {
+		panic(fmt.Sprintf("coherence: duplicate insert of %v at %v", r, c.loc))
+	}
+	if c.used+r.Size > c.capacity {
+		panic(fmt.Sprintf("coherence: insert of %v overflows cache at %v (%d/%d used)", r, c.loc, c.used, c.capacity))
+	}
+	c.clock++
+	l := &Line{Region: r, Dirty: dirty, lru: c.clock}
+	c.lines[r.Addr] = l
+	c.used += r.Size
+	return l
+}
+
+// Remove evicts r's line. Panics if pinned or absent.
+func (c *Cache) Remove(r memspace.Region) {
+	l, ok := c.lines[r.Addr]
+	if !ok {
+		panic(fmt.Sprintf("coherence: remove of non-resident %v at %v", r, c.loc))
+	}
+	if l.pins > 0 {
+		panic(fmt.Sprintf("coherence: remove of pinned %v at %v", r, c.loc))
+	}
+	delete(c.lines, r.Addr)
+	c.used -= r.Size
+	c.Evictions++
+}
+
+// Pin prevents eviction of r while a task uses it.
+func (c *Cache) Pin(r memspace.Region) {
+	l, ok := c.lines[r.Addr]
+	if !ok {
+		panic(fmt.Sprintf("coherence: pin of non-resident %v at %v", r, c.loc))
+	}
+	l.pins++
+}
+
+// Unpin releases one pin on r.
+func (c *Cache) Unpin(r memspace.Region) {
+	l, ok := c.lines[r.Addr]
+	if !ok || l.pins == 0 {
+		panic(fmt.Sprintf("coherence: unpin of unpinned %v at %v", r, c.loc))
+	}
+	l.pins--
+}
+
+// MarkDirty flags r as modified on the device.
+func (c *Cache) MarkDirty(r memspace.Region) {
+	l, ok := c.lines[r.Addr]
+	if !ok {
+		panic(fmt.Sprintf("coherence: MarkDirty of non-resident %v at %v", r, c.loc))
+	}
+	l.Dirty = true
+}
+
+// Clean clears the dirty flag after a write-back.
+func (c *Cache) Clean(r memspace.Region) {
+	l, ok := c.lines[r.Addr]
+	if !ok {
+		return
+	}
+	l.Dirty = false
+}
+
+// DirtyLines returns all dirty lines ordered by region address (for flush).
+func (c *Cache) DirtyLines() []*Line {
+	var out []*Line
+	for _, l := range c.lines {
+		if l.Dirty {
+			out = append(out, l)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Region.Addr < out[j].Region.Addr })
+	return out
+}
+
+// Lines returns all resident lines ordered by region address.
+func (c *Cache) Lines() []*Line {
+	out := make([]*Line, 0, len(c.lines))
+	for _, l := range c.lines {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Region.Addr < out[j].Region.Addr })
+	return out
+}

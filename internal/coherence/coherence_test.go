@@ -1,0 +1,257 @@
+package coherence
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/bsc-repro/ompss/internal/memspace"
+)
+
+func reg(addr, size uint64) memspace.Region { return memspace.Region{Addr: addr, Size: size} }
+
+var (
+	host = memspace.Host(0)
+	gpu0 = memspace.GPU(0, 0)
+	gpu1 = memspace.GPU(0, 1)
+)
+
+func TestDirectoryInitAndHolders(t *testing.T) {
+	d := NewDirectory()
+	r := reg(0x1000, 64)
+	if d.Known(r) {
+		t.Fatal("unknown region should not be Known")
+	}
+	d.Init(r, host)
+	if !d.IsHolder(r, host) || d.IsHolder(r, gpu0) {
+		t.Fatal("holder bookkeeping wrong after Init")
+	}
+	d.AddHolder(r, gpu0)
+	hs := d.Holders(r)
+	if len(hs) != 2 || hs[0] != host || hs[1] != gpu0 {
+		t.Fatalf("holders = %v", hs)
+	}
+}
+
+func TestDirectoryProducedInvalidatesOthers(t *testing.T) {
+	d := NewDirectory()
+	r := reg(0x1000, 64)
+	d.Init(r, host)
+	d.AddHolder(r, gpu0)
+	d.AddHolder(r, gpu1)
+	d.Produced(r, gpu1)
+	if d.IsHolder(r, host) || d.IsHolder(r, gpu0) {
+		t.Fatal("stale holders survived Produced")
+	}
+	if !d.IsHolder(r, gpu1) {
+		t.Fatal("producer must hold the new version")
+	}
+	if d.Version(r) != 1 {
+		t.Fatalf("version = %d", d.Version(r))
+	}
+}
+
+func TestDirectoryDropHolder(t *testing.T) {
+	d := NewDirectory()
+	r := reg(0x1000, 64)
+	d.Init(r, host)
+	d.AddHolder(r, gpu0)
+	d.DropHolder(r, gpu0)
+	if d.IsHolder(r, gpu0) {
+		t.Fatal("dropped holder still present")
+	}
+	// Dropping an absent holder is a no-op.
+	d.DropHolder(r, gpu1)
+	// Dropping the last holder panics: the version must live somewhere.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic dropping last holder")
+		}
+	}()
+	d.DropHolder(r, host)
+}
+
+func TestDirectoryAddHolderUnknownPanics(t *testing.T) {
+	d := NewDirectory()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.AddHolder(reg(1, 1), host)
+}
+
+func TestDirectoryRegionMismatchPanics(t *testing.T) {
+	d := NewDirectory()
+	d.Init(reg(0x1000, 64), host)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Init(reg(0x1000, 128), host) // same addr, different size: partial overlap
+}
+
+func TestCacheHitMissLRU(t *testing.T) {
+	c := NewCache(gpu0, WriteBack, 300)
+	a, b, x := reg(0xa, 100), reg(0xb, 100), reg(0xc, 100)
+	c.Insert(a, false)
+	c.Insert(b, false)
+	c.Insert(x, false)
+	if c.Lookup(a) == nil {
+		t.Fatal("a should hit")
+	}
+	if c.Lookup(reg(0xd, 1)) != nil {
+		t.Fatal("d should miss")
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d", c.Hits, c.Misses)
+	}
+	// b is now LRU (a was touched, x inserted after b).
+	victims, ok := c.MakeSpace(100)
+	if !ok || len(victims) != 1 || victims[0].Region != b {
+		t.Fatalf("victims = %v ok=%v, want [b]", victims, ok)
+	}
+}
+
+func TestCacheMakeSpaceCases(t *testing.T) {
+	c := NewCache(gpu0, WriteBack, 100)
+	// Fits without eviction.
+	if v, ok := c.MakeSpace(100); !ok || v != nil {
+		t.Fatalf("empty cache MakeSpace = %v %v", v, ok)
+	}
+	// Bigger than capacity can never fit.
+	if _, ok := c.MakeSpace(101); ok {
+		t.Fatal("oversized request should fail")
+	}
+	c.Insert(reg(0xa, 60), false)
+	v, ok := c.MakeSpace(50)
+	if !ok || len(v) != 1 {
+		t.Fatalf("MakeSpace(50) = %v %v", v, ok)
+	}
+}
+
+func TestCachePinnedLinesNotEvicted(t *testing.T) {
+	c := NewCache(gpu0, WriteBack, 200)
+	a, b := reg(0xa, 100), reg(0xb, 100)
+	c.Insert(a, false)
+	c.Insert(b, false)
+	c.Pin(a)
+	v, ok := c.MakeSpace(100)
+	if !ok || len(v) != 1 || v[0].Region != b {
+		t.Fatalf("victims = %v ok=%v, want only b", v, ok)
+	}
+	c.Pin(b)
+	if _, ok := c.MakeSpace(100); ok {
+		t.Fatal("all-pinned cache should fail MakeSpace")
+	}
+	c.Unpin(a)
+	v, ok = c.MakeSpace(100)
+	if !ok || len(v) != 1 || v[0].Region != a {
+		t.Fatalf("after unpin: victims = %v", v)
+	}
+}
+
+func TestCacheRemoveAccounting(t *testing.T) {
+	c := NewCache(gpu0, WriteBack, 200)
+	a := reg(0xa, 150)
+	c.Insert(a, true)
+	if c.Used() != 150 {
+		t.Fatalf("used = %d", c.Used())
+	}
+	c.Remove(a)
+	if c.Used() != 0 || c.Len() != 0 || c.Evictions != 1 {
+		t.Fatalf("after remove: used=%d len=%d evictions=%d", c.Used(), c.Len(), c.Evictions)
+	}
+}
+
+func TestCacheRemovePinnedPanics(t *testing.T) {
+	c := NewCache(gpu0, WriteBack, 200)
+	a := reg(0xa, 10)
+	c.Insert(a, false)
+	c.Pin(a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Remove(a)
+}
+
+func TestCacheInsertOverflowPanics(t *testing.T) {
+	c := NewCache(gpu0, WriteBack, 100)
+	c.Insert(reg(0xa, 90), false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Insert(reg(0xb, 20), false)
+}
+
+func TestCacheDirtyTracking(t *testing.T) {
+	c := NewCache(gpu0, WriteBack, 300)
+	a, b, x := reg(0xa, 10), reg(0xb, 10), reg(0xc, 10)
+	c.Insert(a, false)
+	c.Insert(b, true)
+	c.Insert(x, false)
+	c.MarkDirty(x)
+	dirty := c.DirtyLines()
+	if len(dirty) != 2 || dirty[0].Region != b || dirty[1].Region != x {
+		t.Fatalf("dirty = %v", dirty)
+	}
+	c.Clean(b)
+	if got := c.DirtyLines(); len(got) != 1 || got[0].Region != x {
+		t.Fatalf("after clean: %v", got)
+	}
+	c.Clean(reg(0xff, 1)) // cleaning absent line is a no-op
+}
+
+func TestCacheLinesSorted(t *testing.T) {
+	c := NewCache(gpu0, WriteBack, 300)
+	c.Insert(reg(0x30, 10), false)
+	c.Insert(reg(0x10, 10), false)
+	c.Insert(reg(0x20, 10), false)
+	ls := c.Lines()
+	if ls[0].Region.Addr != 0x10 || ls[1].Region.Addr != 0x20 || ls[2].Region.Addr != 0x30 {
+		t.Fatalf("lines = %v", ls)
+	}
+}
+
+// Property: under any sequence of insert/remove/lookup with MakeSpace-led
+// evictions, used bytes == sum of resident line sizes and never exceeds
+// capacity.
+func TestQuickCacheInvariant(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c := NewCache(gpu0, WriteBack, 1000)
+		for _, op := range ops {
+			slot := uint64(op % 16)
+			addr := slot*0x100 + 0x1000
+			size := (slot%7 + 1) * 50 // size is a function of addr: no partial overlap
+			r := reg(addr, size)
+			if c.Contains(r) {
+				if op%3 == 0 {
+					c.Remove(r)
+				} else {
+					c.Lookup(r)
+				}
+				continue
+			}
+			victims, ok := c.MakeSpace(size)
+			if !ok {
+				continue
+			}
+			for _, v := range victims {
+				c.Remove(v.Region)
+			}
+			c.Insert(r, op%2 == 0)
+		}
+		var sum uint64
+		for _, l := range c.Lines() {
+			sum += l.Region.Size
+		}
+		return sum == c.Used() && c.Used() <= c.Capacity()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,427 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/bsc-repro/ompss/internal/gasnet"
+	"github.com/bsc-repro/ompss/internal/memspace"
+	"github.com/bsc-repro/ompss/internal/sim"
+	"github.com/bsc-repro/ompss/internal/task"
+	"github.com/bsc-repro/ompss/internal/trace"
+)
+
+// Active-message handler names (Section III.D.1: all control information
+// and data transfers are implemented with active messages).
+const (
+	amRunTask  = "runTask"  // master -> slave: execute a task
+	amTaskDone = "taskDone" // slave -> master: task completed
+	amData     = "data"     // data payload arriving at a node's host memory
+	amAck      = "ack"      // slave -> master: a routed transfer arrived
+	amFetch    = "fetch"    // master -> slave: send a region to the master
+	amPush     = "push"     // master -> slave j: send a region to slave k
+	amShutdown = "shutdown" // master -> slave: terminate workers
+)
+
+// taskDescBytes models the wire size of a task descriptor.
+func taskDescBytes(t *task.Task) uint64 {
+	return 256 + 48*uint64(len(t.Deps)+len(t.ExtraCopies))
+}
+
+type dataArgs struct {
+	XferID int64 // transfer to acknowledge at the master; 0 = none
+}
+
+type pushArgs struct {
+	Region memspace.Region
+	Dest   int
+	XferID int64
+}
+
+type fetchArgs struct {
+	Region memspace.Region
+	XferID int64
+}
+
+type doneArgs struct {
+	Task *task.Task
+	Node int
+}
+
+// clusterState lives on the Runtime but only the master uses it.
+type clusterState struct {
+	outstanding []int // per node: dispatched but unfinished tasks
+	xferSeq     int64
+	xferEvents  map[int64]*sim.Event
+	netInflight map[netKey]*sim.Event
+}
+
+type netKey struct {
+	addr uint64
+	node int
+}
+
+func (rt *Runtime) cluster() *clusterState {
+	if rt.cl == nil {
+		rt.cl = &clusterState{
+			outstanding: make([]int, len(rt.nodes)),
+			xferEvents:  make(map[int64]*sim.Event),
+			netInflight: make(map[netKey]*sim.Event),
+		}
+	}
+	return rt.cl
+}
+
+// registerMasterHandlers installs the master image's protocol endpoints.
+// Must run before the master endpoint starts.
+func (rt *Runtime) registerMasterHandlers() {
+	m := rt.master()
+	cl := rt.cluster()
+
+	m.ep.Register(amTaskDone, func(p *sim.Proc, am gasnet.AM) {
+		args := am.Args.(doneArgs)
+		t, node := args.Task, args.Node
+		for _, c := range t.Copies() {
+			if c.Access.Writes() {
+				m.produced(c.Region, memspace.Host(node))
+			}
+		}
+		cl.outstanding[node]--
+		rt.remoteRun++
+		rt.finishTask(t, node)
+		m.signalWork()
+	})
+	m.ep.Register(amData, func(p *sim.Proc, am gasnet.AM) {
+		// Data pulled back to the master host: the producer still holds
+		// the current version, the master host gains a copy.
+		m.dir.AddHolder(am.Region, memspace.Host(0))
+		rt.ackXfer(am.Args.(dataArgs).XferID)
+	})
+	m.ep.Register(amAck, func(p *sim.Proc, am gasnet.AM) {
+		rt.ackXfer(am.Args.(dataArgs).XferID)
+	})
+}
+
+// spawnCommThread starts the communication thread(s). They realize the
+// paper's hierarchy: at cluster level every node — the master image
+// included — is a single execution place fed round-robin. With
+// Config.CommThreads > 1 the nodes are striped across several threads,
+// the extension the paper's design explicitly allows.
+func (rt *Runtime) spawnCommThread() {
+	threads := rt.cfg.CommThreads
+	for i := 0; i < threads; i++ {
+		i := i
+		rt.e.Go(fmt.Sprintf("commThread%d", i), func(p *sim.Proc) { rt.commLoop(p, i, threads) })
+	}
+}
+
+// commLoop polls the ready pool for every node round-robin — the remote
+// slaves and the master's own image alike — keeping up to 1+Presend tasks
+// outstanding per node (Section III.D.1). Tasks for remote nodes are
+// staged and shipped by spawned dispatch processes; tasks for the master
+// node enter its local scheduler.
+func (rt *Runtime) commLoop(p *sim.Proc, thread, threads int) {
+	m := rt.master()
+	cl := rt.cluster()
+	limit := 1 + rt.cfg.Presend
+	// This thread serves the nodes whose index is ≡ thread (mod threads).
+	var mine []int
+	for k := 0; k < len(rt.nodes); k++ {
+		if k%threads == thread {
+			mine = append(mine, k)
+		}
+	}
+	if len(mine) == 0 {
+		return
+	}
+	cursor := 0
+	for {
+		ev := m.workSignal
+		progress := false
+		for tried := 0; tried < len(mine); tried++ {
+			k := mine[(cursor+tried)%len(mine)]
+			if cl.outstanding[k] >= limit {
+				continue
+			}
+			t := rt.clSch.Pop(k)
+			if t == nil {
+				continue
+			}
+			cl.outstanding[k]++
+			progress = true
+			if debugPlacement {
+				fmt.Printf("[comm] %s -> node%d (outstanding %d)\n", t.Name, k, cl.outstanding[k])
+			}
+			if k == 0 {
+				m.enqueueLocal(t, func(cp *sim.Proc, ft *task.Task, place int) {
+					cl.outstanding[0]--
+					rt.finishTask(ft, 0)
+					m.signalWork()
+				})
+			} else {
+				if cl.outstanding[k] > 1 {
+					rt.presends++
+				}
+				k := k
+				rt.e.Go(fmt.Sprintf("dispatch:%s->node%d", t.Name, k), func(dp *sim.Proc) {
+					rt.dispatchRemote(dp, t, k)
+				})
+			}
+			// Resume the next poll at the following node: one dispatch per
+			// sweep keeps the distribution round-robin.
+			cursor = (indexOf(mine, k) + 1) % len(mine)
+			break
+		}
+		if progress {
+			p.Yield()
+			continue
+		}
+		if m.stopping && cl.total() == 0 {
+			return
+		}
+		ev.Wait(p)
+	}
+}
+
+// indexOf returns the position of v in s (v is always present).
+func indexOf(s []int, v int) int {
+	for i, x := range s {
+		if x == v {
+			return i
+		}
+	}
+	return 0
+}
+
+func (cl *clusterState) total() int {
+	n := 0
+	for _, o := range cl.outstanding {
+		n += o
+	}
+	return n
+}
+
+// clusterScore is the cluster-level affinity: bytes of t's data resident
+// on each node (the master's host and GPUs together count as node 0).
+func (rt *Runtime) clusterScore(t *task.Task) []uint64 {
+	m := rt.master()
+	scores := make([]uint64, len(rt.nodes))
+	for _, c := range t.Copies() {
+		w := uint64(1)
+		if c.Access.Writes() {
+			w = 2
+		}
+		if m.dir.IsHolder(c.Region, memspace.Host(0)) {
+			scores[0] += w * c.Region.Size
+		} else {
+			for g := range m.devs {
+				if m.dir.IsHolder(c.Region, memspace.GPU(0, g)) {
+					scores[0] += w * c.Region.Size
+					break
+				}
+			}
+		}
+		for k := 1; k < len(rt.nodes); k++ {
+			if m.dir.IsHolder(c.Region, memspace.Host(k)) {
+				scores[k] += w * c.Region.Size
+			}
+		}
+	}
+	return scores
+}
+
+// clusterCanRun filters device compatibility at node granularity.
+// Reduction tasks run on the master node only: cross-node reduction
+// combining is not implemented (the paper lists reductions entirely as
+// future work).
+func (rt *Runtime) clusterCanRun(place int, t *task.Task) bool {
+	for _, d := range t.Deps {
+		if d.Access == task.Red && place != 0 {
+			return false
+		}
+	}
+	if t.Device == task.CUDA {
+		return len(rt.nodes[place].devs) > 0
+	}
+	return true
+}
+
+// dispatchRemote stages a task's input data at node k and sends the run
+// request. Staging overlaps the execution of other remote tasks because
+// each dispatch runs in its own process.
+func (rt *Runtime) dispatchRemote(p *sim.Proc, t *task.Task, k int) {
+	m := rt.master()
+	copies := mergeCopies(t.Copies())
+	if rt.cfg.NonBlockingCache {
+		var wait []*sim.Event
+		for _, c := range copies {
+			if !c.Access.Reads() {
+				continue
+			}
+			c := c
+			done := sim.NewEvent(rt.e)
+			rt.e.Go("stageNet", func(sp *sim.Proc) {
+				rt.stageToNode(sp, c.Region, k)
+				done.Trigger()
+			})
+			wait = append(wait, done)
+		}
+		for _, ev := range wait {
+			ev.Wait(p)
+		}
+	} else {
+		for _, c := range copies {
+			if c.Access.Reads() {
+				rt.stageToNode(p, c.Region, k)
+			}
+		}
+	}
+	m.ep.AMMedium(p, k, amRunTask, t, taskDescBytes(t))
+}
+
+// stageToNode makes node k hold the current version of r. Routes are:
+// master host -> k directly; a master GPU -> master host -> k; another
+// slave j -> k directly when SlaveToSlave is enabled, else j -> master -> k.
+func (rt *Runtime) stageToNode(p *sim.Proc, r memspace.Region, k int) {
+	m := rt.master()
+	cl := rt.cluster()
+	key := netKey{addr: r.Addr, node: k}
+	if ev, busy := cl.netInflight[key]; busy {
+		ev.Wait(p)
+		return
+	}
+	if m.dir.IsHolder(r, memspace.Host(k)) || !m.dir.Known(r) {
+		return
+	}
+	ev := sim.NewEvent(rt.e)
+	cl.netInflight[key] = ev
+	defer func() {
+		delete(cl.netInflight, key)
+		ev.Trigger()
+	}()
+
+	holders := m.dir.Holders(r)
+	src := holders[0]
+	if rt.cfg.SlaveToSlave {
+		// Prefer a slave source: direct slave-to-slave transfers keep the
+		// master's TX free for control traffic and its own data.
+		for _, h := range holders {
+			if h.Node != 0 && h.IsHost() {
+				src = h
+				break
+			}
+		}
+	} else {
+		// Master-routed mode: prefer the master host when it has a copy.
+		for _, h := range holders {
+			if h == memspace.Host(0) {
+				src = h
+				break
+			}
+		}
+	}
+	if src.Node == 0 {
+		// From the master image (possibly via a D2H flush of a master GPU).
+		m.fetchToHost(p, r)
+		rt.sendMasterToNode(p, r, k)
+		return
+	}
+	// Current version lives on slave src.Node.
+	if rt.cfg.SlaveToSlave {
+		id := rt.newXfer()
+		ack := cl.xferEvents[id]
+		start := p.Now()
+		m.ep.AMShort(p, src.Node, amPush, pushArgs{Region: r, Dest: k, XferID: id})
+		ack.Wait(p)
+		rt.cfg.Trace.Record(trace.Span{Kind: trace.NetSend, Name: "s->s",
+			Node: src.Node, Dev: -1, Start: start, End: p.Now(), Bytes: r.Size})
+		rt.bytesStoS += r.Size
+		m.dir.AddHolder(r, memspace.Host(k))
+		return
+	}
+	// Master-routed: pull to the master host, then send on.
+	m.fetchToHost(p, r)
+	rt.sendMasterToNode(p, r, k)
+}
+
+// sendMasterToNode ships r from the master host store to node k and waits
+// for the acknowledgement so ordering with the subsequent runTask holds
+// even under retries.
+func (rt *Runtime) sendMasterToNode(p *sim.Proc, r memspace.Region, k int) {
+	m := rt.master()
+	cl := rt.cluster()
+	id := rt.newXfer()
+	ack := cl.xferEvents[id]
+	start := p.Now()
+	m.ep.AMLong(p, k, amData, dataArgs{XferID: id}, r)
+	ack.Wait(p)
+	rt.cfg.Trace.Record(trace.Span{Kind: trace.NetSend, Name: "m->s",
+		Node: 0, Dev: -1, Start: start, End: p.Now(), Bytes: r.Size})
+	rt.bytesMtoS += r.Size
+	m.dir.AddHolder(r, memspace.Host(k))
+}
+
+// newXfer allocates a transfer id with a pending ack event.
+func (rt *Runtime) newXfer() int64 {
+	cl := rt.cluster()
+	cl.xferSeq++
+	cl.xferEvents[cl.xferSeq] = sim.NewEvent(rt.e)
+	return cl.xferSeq
+}
+
+// ackXfer is called at the master when a transfer acknowledgement arrives.
+// id 0 (no ack requested) is ignored.
+func (rt *Runtime) ackXfer(id int64) {
+	if id == 0 {
+		return
+	}
+	cl := rt.cluster()
+	if ev, ok := cl.xferEvents[id]; ok {
+		ev.Trigger()
+		delete(cl.xferEvents, id)
+	}
+}
+
+// pullToMaster fetches r (held by slave node j) into the master host.
+// Called with the master's host inflight key held.
+func (rt *Runtime) pullToMaster(p *sim.Proc, r memspace.Region, j int) {
+	m := rt.master()
+	id := rt.newXfer()
+	ack := rt.cluster().xferEvents[id]
+	m.ep.AMShort(p, j, amFetch, fetchArgs{Region: r, XferID: id})
+	ack.Wait(p) // the amData handler adds Host(0) as holder
+	rt.bytesMtoS += r.Size
+}
+
+// registerSlaveHandlers installs the slave image's protocol (Section
+// III.D.1: slaves wait for requests and submit them to the local
+// scheduler).
+func (n *nodeRT) registerSlaveHandlers() {
+	n.ep.Register(amRunTask, func(p *sim.Proc, am gasnet.AM) {
+		t := am.Args.(*task.Task)
+		n.enqueueLocal(t, func(cp *sim.Proc, ft *task.Task, place int) {
+			n.ep.AMShort(cp, 0, amTaskDone, doneArgs{Task: ft, Node: n.id})
+		})
+	})
+	n.ep.Register(amData, func(p *sim.Proc, am gasnet.AM) {
+		// Fresh data arriving at this node's host: it becomes the node's
+		// current local version, invalidating stale GPU copies.
+		n.produced(am.Region, memspace.Host(n.id))
+		if id := am.Args.(dataArgs).XferID; id != 0 {
+			n.ep.AMShort(p, 0, amAck, dataArgs{XferID: id})
+		}
+	})
+	n.ep.Register(amFetch, func(p *sim.Proc, am gasnet.AM) {
+		args := am.Args.(fetchArgs)
+		n.fetchToHost(p, args.Region) // D2H first if only a GPU holds it
+		n.ep.AMLong(p, 0, amData, dataArgs{XferID: args.XferID}, args.Region)
+	})
+	n.ep.Register(amPush, func(p *sim.Proc, am gasnet.AM) {
+		args := am.Args.(pushArgs)
+		n.fetchToHost(p, args.Region)
+		n.ep.AMLong(p, args.Dest, amData, dataArgs{XferID: args.XferID}, args.Region)
+	})
+	n.ep.Register(amShutdown, func(p *sim.Proc, am gasnet.AM) {
+		n.stopping = true
+		n.signalWork()
+	})
+}

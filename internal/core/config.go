@@ -1,0 +1,194 @@
+// Package core implements the Nanos++ runtime of the paper: the
+// architecture-independent layer (dependency graph, scheduler, coherence)
+// and the two dependent layers — the GPU architecture (manager thread per
+// GPU, transfer/compute overlap, prefetch) and the cluster architecture
+// (master and slave images, active messages, communication thread,
+// presend, slave-to-slave transfers).
+//
+// Everything executes on the deterministic virtual clock of internal/sim;
+// one Runtime instance owns one simulated machine.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/bsc-repro/ompss/internal/coherence"
+	"github.com/bsc-repro/ompss/internal/hw"
+	"github.com/bsc-repro/ompss/internal/sched"
+	"github.com/bsc-repro/ompss/internal/trace"
+)
+
+// Config selects the machine and the runtime options evaluated in the
+// paper's experiments.
+type Config struct {
+	// Cluster is the simulated machine (see internal/hw presets).
+	Cluster hw.ClusterSpec
+
+	// Scheduler is the task scheduling policy (bf, dependencies, affinity).
+	// Used at every level: the master's cluster-aware scheduler and each
+	// node's local scheduler. Default: Dependencies (the runtime default in
+	// the paper).
+	Scheduler sched.Policy
+
+	// CachePolicy is the software cache write policy (nocache, wt, wb).
+	// Default: WriteBack.
+	CachePolicy coherence.Policy
+
+	// Overlap enables transfer/compute overlap through CUDA streams
+	// (disabled by default in the paper; enabling it adds pinned-staging
+	// memcpys).
+	Overlap bool
+
+	// Prefetch makes each GPU manager thread request its next task as soon
+	// as a kernel is launched and start moving that task's data.
+	Prefetch bool
+
+	// CommThreads is the number of communication threads representing the
+	// remote nodes at the master ("There is only one communication thread
+	// ... Our design allows to have more than one if necessary", Section
+	// III.D.1 footnote). Nodes are striped across threads. Default 1.
+	CommThreads int
+
+	// Presend is how many extra tasks the communication thread ships to a
+	// remote node beyond the one executing, so that their input transfers
+	// overlap remote computation. 0 disables presend.
+	Presend int
+
+	// SlaveToSlave allows direct data transfers between slave nodes
+	// ("StoS"); when false every inter-node transfer is routed through the
+	// master ("MtoS").
+	SlaveToSlave bool
+
+	// Steal enables work stealing between the affinity scheduler's local
+	// queues.
+	Steal bool
+
+	// NonBlockingCache issues a task's input transfers concurrently and
+	// waits once (the paper's non-blocking cache). When false each
+	// transfer completes before the next is requested.
+	NonBlockingCache bool
+
+	// GPUCacheHeadroom reserves a fraction of device memory for the
+	// runtime's own buffers; the software cache manages the rest.
+	GPUCacheHeadroom float64
+
+	// KernelJitter is the fractional deterministic variation applied to
+	// each task's modeled kernel duration (hashed from the task id). Real
+	// kernels never take identical time; without this, a FIFO schedule can
+	// stay accidentally aligned with data placement and hide the locality
+	// effects the paper measures. Default 0.02 (2%).
+	KernelJitter float64
+
+	// EvictionOverhead is the fixed bookkeeping cost of evicting one cache
+	// line under memory pressure (pool compaction, cudaFree/cudaMalloc of
+	// the backing block). It models why the paper's N-Body prefers the
+	// no-cache policy: replacement under pressure costs more than eagerly
+	// moving data out and keeping GPU memory free (Section IV.B.1).
+	// Defaults to 150µs.
+	EvictionOverhead time.Duration
+
+	// Validate carries real bytes through every memory and wire so kernels
+	// can execute and results can be checked. Costs host time; benchmarks
+	// run cost-only.
+	Validate bool
+
+	// Trace, when non-nil, records an execution timeline (task runs, data
+	// transfers, network sends) for inspection, Gantt rendering or Paraver
+	// export. See internal/trace.
+	Trace *trace.Recorder
+
+	// CPUWorkers is the number of SMP worker threads per node; 0 derives
+	// it from the node spec (cores minus one per GPU manager minus one
+	// runtime thread).
+	CPUWorkers int
+}
+
+// withDefaults fills zero values and validates.
+func (c Config) withDefaults() Config {
+	if c.Scheduler == "" {
+		c.Scheduler = sched.Dependencies
+	}
+	if c.CachePolicy == "" {
+		c.CachePolicy = coherence.WriteBack
+	}
+	if c.GPUCacheHeadroom == 0 {
+		c.GPUCacheHeadroom = 0.05
+	}
+	if c.EvictionOverhead == 0 {
+		c.EvictionOverhead = 150 * time.Microsecond
+	}
+	if c.KernelJitter == 0 {
+		c.KernelJitter = 0.02
+	}
+	if c.KernelJitter < 0 {
+		c.KernelJitter = 0
+	}
+	if c.CommThreads <= 0 {
+		c.CommThreads = 1
+	}
+	if len(c.Cluster.Nodes) == 0 {
+		panic("core: Config.Cluster has no nodes")
+	}
+	if c.Presend < 0 {
+		panic(fmt.Sprintf("core: negative Presend %d", c.Presend))
+	}
+	return c
+}
+
+func (c Config) cpuWorkers(spec hw.NodeSpec) int {
+	if c.CPUWorkers > 0 {
+		return c.CPUWorkers
+	}
+	w := spec.CPUCores - len(spec.GPUs) - 1
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Stats aggregates a run's activity.
+type Stats struct {
+	// Elapsed is the virtual time from Run start to completion.
+	ElapsedSeconds float64
+
+	TasksSMP    int
+	TasksCUDA   int
+	TasksRemote int // tasks dispatched to slave nodes (subset of the above)
+
+	// GPU traffic, all devices.
+	BytesH2D uint64
+	BytesD2H uint64
+	XfersH2D int
+	XfersD2H int
+
+	// Network traffic.
+	NetBytes uint64
+	NetMsgs  int
+	// Inter-node data routed master->slave vs slave->slave.
+	BytesMtoS uint64
+	BytesStoS uint64
+
+	// Software-cache behaviour, all devices.
+	CacheHits   int
+	CacheMisses int
+	Evictions   int
+	Writebacks  int // dirty lines written back (eviction, wt, flush)
+
+	// Presend: tasks shipped to a node before it was idle.
+	Presends int
+
+	// KernelBusySeconds sums kernel engine busy time across GPUs.
+	KernelBusySeconds float64
+
+	// TasksPerNode counts tasks executed on each node (SMP + CUDA).
+	TasksPerNode []int
+}
+
+// Utilization returns average GPU compute utilization in [0,1].
+func (s Stats) Utilization(numGPUs int) float64 {
+	if s.ElapsedSeconds == 0 || numGPUs == 0 {
+		return 0
+	}
+	return s.KernelBusySeconds / (s.ElapsedSeconds * float64(numGPUs))
+}

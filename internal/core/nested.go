@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/bsc-repro/ompss/internal/depgraph"
+	"github.com/bsc-repro/ompss/internal/sim"
+	"github.com/bsc-repro/ompss/internal/task"
+)
+
+// LocalCtx is the handle a task's Spawner uses to create nested tasks on
+// the node where the parent executes. Nested tasks form their own dynamic
+// extent: dependences connect siblings only (as the paper's hierarchical
+// graph requires), they are scheduled by the node's local scheduler, and
+// the parent does not complete until they drain.
+type LocalCtx struct {
+	n       *nodeRT
+	p       *sim.Proc
+	graph   *depgraph.Graph
+	pending int
+	idle    *sim.Event
+}
+
+// Node returns the node id the nested tasks will run on.
+func (lc *LocalCtx) Node() int { return lc.n.id }
+
+// Submit creates a nested task from def. Its dependences are resolved
+// against the other nested tasks of the same parent.
+func (lc *LocalCtx) Submit(def TaskDef) *task.Task {
+	rt := lc.n.rt
+	t := &task.Task{
+		ID:          rt.newTaskID(),
+		Name:        def.Name,
+		Device:      def.Device,
+		Deps:        def.Deps,
+		CopyDeps:    !def.NoCopyDeps,
+		ExtraCopies: def.ExtraCopies,
+		Reductions:  def.Reductions,
+		Work:        def.Work,
+		Spawner:     def.Spawner,
+	}
+	if t.Work == nil {
+		t.Work = task.NoWork{Label: def.Name}
+	}
+	if t.Device == task.CUDA && len(lc.n.devs) == 0 {
+		panic(fmt.Sprintf("core: nested CUDA task on GPU-less node %d", lc.n.id))
+	}
+	if lc.pending == 0 {
+		lc.idle = sim.NewEvent(rt.e)
+	}
+	lc.pending++
+	lc.graph.Submit(t)
+	return t
+}
+
+// Wait blocks the spawner until every nested task has finished.
+func (lc *LocalCtx) Wait() {
+	if lc.pending == 0 {
+		return
+	}
+	lc.idle.Wait(lc.p)
+}
+
+// runSpawner executes t's Spawner with a fresh local extent and waits for
+// the nested tasks it created.
+func (n *nodeRT) runSpawner(p *sim.Proc, t *task.Task) {
+
+	lc := &LocalCtx{n: n, p: p}
+	lc.graph = depgraph.New(func(ready *task.Task) {
+		n.enqueueLocal(ready, func(cp *sim.Proc, ft *task.Task, place int) {
+			lc.graph.Finished(ft)
+			lc.pending--
+			if lc.pending == 0 {
+				lc.idle.Trigger()
+			}
+		})
+	})
+	t.Spawner(lc)
+	lc.Wait()
+}

@@ -1,0 +1,731 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/bsc-repro/ompss/internal/coherence"
+	"github.com/bsc-repro/ompss/internal/cuda"
+	"github.com/bsc-repro/ompss/internal/gasnet"
+	"github.com/bsc-repro/ompss/internal/gpusim"
+	"github.com/bsc-repro/ompss/internal/hw"
+	"github.com/bsc-repro/ompss/internal/memspace"
+	"github.com/bsc-repro/ompss/internal/sched"
+	"github.com/bsc-repro/ompss/internal/sim"
+	"github.com/bsc-repro/ompss/internal/task"
+	"github.com/bsc-repro/ompss/internal/trace"
+)
+
+// taskOverhead models the per-task bookkeeping cost of the runtime
+// (graph insertion, scheduling, coherence lookups).
+const taskOverhead = 4 * time.Microsecond
+
+// debugPlacement prints task placement decisions (tests only).
+var debugPlacement = false
+
+// nodeRT is one runtime image: the master (node 0) or a slave. Each image
+// owns its host store, GPUs with software caches, a local directory, a
+// scheduler and its worker processes — the hierarchical structure of
+// Section III.C.3.
+type nodeRT struct {
+	rt   *Runtime
+	id   int
+	spec hw.NodeSpec
+
+	hostStore *memspace.Store
+	ep        *gasnet.Endpoint
+	devs      []*gpusim.Device
+	ctxs      []*cuda.Context
+	caches    []*coherence.Cache
+	dir       *coherence.Directory
+	sch       sched.Scheduler
+
+	places     int // 0 = CPU pool, 1..G = GPUs, master adds G+1..G+K remote
+	workSignal *sim.Event
+	stopping   bool
+
+	// onDone maps locally queued tasks to their completion action (retire
+	// at master, or notify the master over the wire).
+	onDone map[task.ID]func(p *sim.Proc, t *task.Task, place int)
+
+	// prefetched[g] is a task already popped and staged by GPU manager g.
+	prefetched []*task.Task
+
+	// inflight dedupes concurrent transfers to one destination device.
+	inflight map[inflightKey]*sim.Event
+
+	// redPartials tracks, per reduction region, the GPUs holding partial
+	// accumulators; redCombiners the folding function. Partials are
+	// combined into the host copy before the next reader (fetchToHost).
+	redPartials  map[uint64][]int
+	redCombiners map[uint64]task.Combiner
+
+	tasksSMP  int
+	tasksCUDA int
+}
+
+type inflightKey struct {
+	addr uint64
+	dev  int // destination device index; hostDevKey for the host
+}
+
+const hostDevKey = -1
+
+func (n *nodeRT) isMaster() bool { return n.id == 0 }
+
+func newNodeRT(rt *Runtime, id int, spec hw.NodeSpec) *nodeRT {
+	n := &nodeRT{
+		rt:           rt,
+		id:           id,
+		spec:         spec,
+		dir:          coherence.NewDirectory(),
+		onDone:       make(map[task.ID]func(*sim.Proc, *task.Task, int)),
+		inflight:     make(map[inflightKey]*sim.Event),
+		redPartials:  make(map[uint64][]int),
+		redCombiners: make(map[uint64]task.Combiner),
+		prefetched:   make([]*task.Task, len(spec.GPUs)),
+		workSignal:   sim.NewEvent(rt.e),
+	}
+	if rt.cfg.Validate {
+		n.hostStore = memspace.NewStore(memspace.Host(id))
+	}
+	n.ep = gasnet.NewEndpoint(rt.fabric, id, n.hostStore)
+	for g, gs := range spec.GPUs {
+		dev := gpusim.New(rt.e, gs, memspace.GPU(id, g), rt.cfg.Overlap, rt.cfg.Validate)
+		n.devs = append(n.devs, dev)
+		n.ctxs = append(n.ctxs, cuda.NewContext(rt.e, dev))
+		capacity := uint64(float64(gs.MemBytes) * (1 - rt.cfg.GPUCacheHeadroom))
+		n.caches = append(n.caches, coherence.NewCache(memspace.GPU(id, g), rt.cfg.CachePolicy, capacity))
+	}
+	n.places = 1 + len(spec.GPUs)
+	n.sch = sched.New(rt.cfg.Scheduler, n.places, n.affinityScore, rt.cfg.Steal, n.canRun)
+	return n
+}
+
+// placeLoc maps a local place id to the address space it prefers.
+func (n *nodeRT) placeLoc(place int) memspace.Location {
+	if place == 0 {
+		return memspace.Host(n.id)
+	}
+	return memspace.GPU(n.id, place-1)
+}
+
+// canRun implements device compatibility: the CPU pool runs SMP tasks and
+// GPU managers run CUDA tasks.
+func (n *nodeRT) canRun(place int, t *task.Task) bool {
+	if place == 0 {
+		return t.Device == task.SMP
+	}
+	return t.Device == task.CUDA
+}
+
+// affinityScore scores each place by the bytes of t's data it already
+// holds, per the locality-aware policy.
+func (n *nodeRT) affinityScore(t *task.Task) []uint64 {
+	scores := make([]uint64, n.places)
+	for place := 0; place < n.places; place++ {
+		if !n.canRun(place, t) {
+			continue
+		}
+		loc := n.placeLoc(place)
+		for _, c := range t.Copies() {
+			if n.dir.IsHolder(c.Region, loc) {
+				// Written data counts double: the output wants to stay
+				// where it lives (it is both read and re-produced), which
+				// also breaks read-vs-write ties deterministically.
+				w := uint64(1)
+				if c.Access.Writes() {
+					w = 2
+				}
+				scores[place] += w * c.Region.Size
+			}
+		}
+	}
+	return scores
+}
+
+// signalWork wakes idle workers.
+func (n *nodeRT) signalWork() {
+	ev := n.workSignal
+	n.workSignal = sim.NewEvent(n.rt.e)
+	ev.Trigger()
+}
+
+// enqueueLocal queues t on this node's scheduler with a completion action.
+func (n *nodeRT) enqueueLocal(t *task.Task, done func(p *sim.Proc, t *task.Task, place int)) {
+	n.onDone[t.ID] = done
+	n.sch.Submit(t, -1)
+	n.signalWork()
+}
+
+// start spawns this image's worker processes.
+func (n *nodeRT) start() {
+	workers := n.rt.cfg.cpuWorkers(n.spec)
+	for w := 0; w < workers; w++ {
+		n.rt.e.Go(fmt.Sprintf("node%d:cpu%d", n.id, w), func(p *sim.Proc) {
+			n.workerLoop(p, 0)
+		})
+	}
+	for g := range n.devs {
+		g := g
+		n.rt.e.Go(fmt.Sprintf("node%d:gpu%d", n.id, g), func(p *sim.Proc) {
+			n.gpuManagerLoop(p, g)
+		})
+	}
+	if len(n.rt.nodes) > 1 {
+		// The active-message machinery only exists on real clusters; a
+		// single-node run has no peers to talk to.
+		if !n.isMaster() {
+			n.registerSlaveHandlers()
+		}
+		n.ep.Start(n.rt.e)
+	}
+}
+
+// workerLoop is the SMP worker thread body.
+func (n *nodeRT) workerLoop(p *sim.Proc, place int) {
+	for {
+		ev := n.workSignal
+		t := n.sch.Pop(place)
+		if t == nil {
+			if n.stopping {
+				return
+			}
+			ev.Wait(p)
+			continue
+		}
+		n.runSMP(p, t)
+	}
+}
+
+// runSMP executes an SMP task on this node's host.
+func (n *nodeRT) runSMP(p *sim.Proc, t *task.Task) {
+	p.Sleep(taskOverhead)
+	n.registerReduction(t)
+	copies := t.Copies()
+	// Inputs must be valid in host memory (SMP tasks use copy clauses too).
+	n.stageRegions(p, copies, hostDevKey)
+	runStart := p.Now()
+	p.Sleep(n.jitter(t.ID, t.Work.CPUCost(n.spec)))
+	n.rt.cfg.Trace.Record(trace.Span{Kind: trace.TaskRun, Name: t.Name,
+		Node: n.id, Dev: -1, Start: runStart, End: p.Now()})
+	if n.rt.cfg.Validate {
+		t.Work.Run(n.hostStore)
+	}
+	// The parent's own outputs are published before any nested tasks run,
+	// so children can read what the parent computed; children then publish
+	// their own writes on top.
+	for _, c := range copies {
+		if c.Access.Writes() {
+			n.produced(c.Region, memspace.Host(n.id))
+		}
+	}
+	if t.Spawner != nil {
+		// The spawner blocks until its nested tasks drain; detach it so
+		// this worker can execute those very tasks (a parent waiting on
+		// its children must not occupy the only executor).
+		n.rt.e.Go(fmt.Sprintf("spawner:%s", t.Name), func(sp *sim.Proc) {
+			n.runSpawner(sp, t)
+			n.tasksSMP++
+			n.completeLocal(sp, t, 0)
+		})
+		return
+	}
+	n.tasksSMP++
+	n.completeLocal(p, t, 0)
+}
+
+// completeLocal runs the completion action registered for t. Master-local
+// tasks have no registered action: they retire directly into the graph.
+func (n *nodeRT) completeLocal(p *sim.Proc, t *task.Task, place int) {
+	done, ok := n.onDone[t.ID]
+	if !ok {
+		if n.isMaster() {
+			n.rt.finishTask(t, place)
+			return
+		}
+		panic(fmt.Sprintf("core: no completion action for %v on node %d", t, n.id))
+	}
+	delete(n.onDone, t.ID)
+	done(p, t, place)
+}
+
+// gpuManagerLoop is the GPU manager thread of device g (Section III.D.2):
+// it pops CUDA tasks, stages their data, launches kernels, optionally
+// prefetches the next task's data during the kernel, and applies the cache
+// write policy afterwards.
+func (n *nodeRT) gpuManagerLoop(p *sim.Proc, g int) {
+	place := 1 + g
+	for {
+		var t *task.Task
+		if n.prefetched[g] != nil {
+			t, n.prefetched[g] = n.prefetched[g], nil
+		} else {
+			ev := n.workSignal
+			t = n.sch.Pop(place)
+			if t == nil {
+				if n.stopping {
+					return
+				}
+				ev.Wait(p)
+				continue
+			}
+			p.Sleep(taskOverhead)
+			n.registerReduction(t)
+			stageStart := p.Now()
+			n.stageRegions(p, t.Copies(), g)
+			if p.Now() > stageStart {
+				n.rt.cfg.Trace.Record(trace.Span{Kind: trace.Stage, Name: t.Name,
+					Node: n.id, Dev: g, Start: stageStart, End: p.Now()})
+			}
+		}
+		dev := n.devs[g]
+		work := t.Work
+		cost := n.jitter(t.ID, work.GPUCost(dev.Spec()))
+		kernelStart := p.Now()
+		kernelDone := dev.LaunchAsync(t.Name, cost, func(devStore *memspace.Store) {
+			if n.rt.cfg.Validate {
+				work.Run(devStore)
+			}
+		})
+		if n.rt.cfg.Prefetch {
+			// Once a kernel is launched, request the next task and start
+			// moving its data so it is resident by the time it can run.
+			if nt := n.sch.Pop(place); nt != nil {
+				if n.tryStage(p, nt.Copies(), g) {
+					n.prefetched[g] = nt
+				} else {
+					// Not enough free memory alongside the running task:
+					// give the task back.
+					n.sch.Submit(nt, -1)
+				}
+			}
+		}
+		kernelDone.Wait(p)
+		n.rt.cfg.Trace.Record(trace.Span{Kind: trace.TaskRun, Name: t.Name,
+			Node: n.id, Dev: g, Start: kernelStart, End: p.Now()})
+		n.publishGPUTask(p, g, t)
+		if t.Spawner != nil {
+			// Detached: the nested tasks need this very GPU manager.
+			t := t
+			n.rt.e.Go(fmt.Sprintf("spawner:%s", t.Name), func(sp *sim.Proc) {
+				n.runSpawner(sp, t)
+				n.tasksCUDA++
+				n.completeLocal(sp, t, 1+g)
+			})
+			continue
+		}
+		n.tasksCUDA++
+		n.completeLocal(p, t, 1+g)
+	}
+}
+
+// publishGPUTask applies the write policy and releases t's pins; the
+// caller completes the task (possibly after a nested extent).
+func (n *nodeRT) publishGPUTask(p *sim.Proc, g int, t *task.Task) {
+	loc := memspace.GPU(n.id, g)
+	cache := n.caches[g]
+	copies := t.Copies()
+	for _, c := range copies {
+		if !c.Access.Writes() {
+			continue // In and Red accesses publish nothing at task end
+		}
+		n.produced(c.Region, loc)
+		cache.MarkDirty(c.Region)
+	}
+	switch n.rt.cfg.CachePolicy {
+	case coherence.WriteBack:
+		// Dirty lines stay on the device until eviction or flush.
+	case coherence.WriteThrough, coherence.NoCache:
+		// Propagate every write to host memory immediately.
+		for _, c := range copies {
+			if c.Access.Writes() {
+				n.writeBackLine(p, g, c.Region)
+			}
+		}
+	}
+	for _, c := range copies {
+		cache.Unpin(c.Region)
+	}
+	if n.rt.cfg.CachePolicy == coherence.NoCache {
+		// Emulate moving data in and out always: nothing stays resident —
+		// except reduction partials, which must survive until combined.
+		for _, c := range dedupRegions(copies) {
+			if _, reducing := n.redPartials[c.Addr]; reducing {
+				continue
+			}
+			if cache.Contains(c) {
+				n.dropLine(g, c)
+			}
+		}
+	}
+	if debugPlacement {
+		fmt.Printf("[%v] %s ran on node%d gpu%d\n", p.Now(), t.Name, n.id, g)
+	}
+}
+
+// dedupRegions returns the distinct regions of a copy list.
+func dedupRegions(copies []task.Dep) []memspace.Region {
+	seen := make(map[uint64]bool, len(copies))
+	var out []memspace.Region
+	for _, c := range copies {
+		if !seen[c.Region.Addr] {
+			seen[c.Region.Addr] = true
+			out = append(out, c.Region)
+		}
+	}
+	return out
+}
+
+// jitter applies the configured deterministic per-task duration variation.
+func (n *nodeRT) jitter(id task.ID, d time.Duration) time.Duration {
+	if n.rt.cfg.KernelJitter <= 0 {
+		return d
+	}
+	// Cheap integer hash of the task id; uniform in [0, 1).
+	h := uint64(id) * 0x9e3779b97f4a7c15
+	frac := float64(h>>40) / float64(1<<24)
+	return d + time.Duration(float64(d)*n.rt.cfg.KernelJitter*frac)
+}
+
+// produced records a new version of r at loc and drops stale copies from
+// this image's caches. Uncombined reduction partials for r are obsolete
+// once a new version exists and are discarded.
+func (n *nodeRT) produced(r memspace.Region, loc memspace.Location) {
+	if gpus, reducing := n.redPartials[r.Addr]; reducing {
+		delete(n.redPartials, r.Addr)
+		delete(n.redCombiners, r.Addr)
+		// Release the reduction-phase pins; the stale-copy sweep below
+		// removes the obsolete partial lines (except the producer's own,
+		// which the new version is being written into).
+		for _, g := range gpus {
+			n.caches[g].Unpin(r)
+		}
+	}
+	n.dir.Produced(r, loc)
+	for g, c := range n.caches {
+		if c.Location() == loc {
+			continue
+		}
+		if c.Contains(r) {
+			c.Remove(r)
+			if s := n.devs[g].Store(); s != nil {
+				s.Drop(r)
+			}
+		}
+	}
+}
+
+// stageRegions makes every copy region of a task valid at the destination
+// (GPU g, or the host when g == hostDevKey), pinning GPU lines. With the
+// non-blocking cache the transfers run concurrently.
+func (n *nodeRT) stageRegions(p *sim.Proc, copies []task.Dep, g int) {
+	if !n.tryStageInner(p, copies, g, false) {
+		loc := "host"
+		if g != hostDevKey {
+			loc = n.caches[g].Location().String()
+		}
+		panic(fmt.Sprintf("core: task working set does not fit at %s", loc))
+	}
+}
+
+// tryStage is stageRegions for prefetch: returns false instead of
+// panicking when space cannot be made.
+func (n *nodeRT) tryStage(p *sim.Proc, copies []task.Dep, g int) bool {
+	return n.tryStageInner(p, copies, g, true)
+}
+
+func (n *nodeRT) tryStageInner(p *sim.Proc, copies []task.Dep, g int, soft bool) bool {
+	merged := mergeCopies(copies)
+	if g == hostDevKey {
+		for _, c := range merged {
+			if c.Access == task.Red {
+				// SMP reduction tasks accumulate straight into the host
+				// copy, which must be valid — but other participants'
+				// partials are NOT combined yet (reductions commute; the
+				// graph only orders the eventual reader after all of them).
+				n.fetchToHostInner(p, c.Region, false)
+				continue
+			}
+			if c.Access.Reads() {
+				n.fetchToHost(p, c.Region)
+			}
+		}
+		return true
+	}
+	cache := n.caches[g]
+	loc := memspace.GPU(n.id, g)
+	type job struct {
+		r     memspace.Region
+		fetch bool
+	}
+	var jobs []job
+	// Phase 1: residency and allocation decisions (synchronous bookkeeping).
+	for _, c := range merged {
+		r := c.Region
+		if c.Access == task.Red {
+			n.stageReduction(g, r)
+			continue
+		}
+		if line := cache.Lookup(r); line != nil {
+			if n.dir.IsHolder(r, loc) || !c.Access.Reads() {
+				cache.Pin(r)
+				continue
+			}
+			// Resident but stale (should have been invalidated): drop.
+			n.dropLine(g, r)
+		}
+		victims, ok := cache.MakeSpace(r.Size)
+		if !ok {
+			if soft {
+				// Undo pins taken so far.
+				for _, d := range merged {
+					if d.Region == r {
+						break
+					}
+					cache.Unpin(d.Region)
+				}
+				return false
+			}
+			return false
+		}
+		for _, v := range victims {
+			n.evictLine(p, g, v)
+		}
+		cache.Insert(r, false)
+		cache.Pin(r)
+		needFetch := c.Access.Reads() && n.dir.Known(r)
+		jobs = append(jobs, job{r: r, fetch: needFetch})
+	}
+	// Phase 2: data movement.
+	if n.rt.cfg.NonBlockingCache {
+		var wait []*sim.Event
+		for _, j := range jobs {
+			if !j.fetch {
+				continue
+			}
+			j := j
+			done := sim.NewEvent(n.rt.e)
+			n.rt.e.Go("stage", func(sp *sim.Proc) {
+				n.fetchToGPU(sp, g, j.r)
+				done.Trigger()
+			})
+			wait = append(wait, done)
+		}
+		for _, ev := range wait {
+			ev.Wait(p)
+		}
+	} else {
+		for _, j := range jobs {
+			if j.fetch {
+				n.fetchToGPU(p, g, j.r)
+			}
+		}
+	}
+	return true
+}
+
+// mergeCopies combines duplicate copy clauses on one region.
+func mergeCopies(copies []task.Dep) []task.Dep {
+	byAddr := make(map[uint64]int, len(copies))
+	var out []task.Dep
+	for _, c := range copies {
+		if i, ok := byAddr[c.Region.Addr]; ok {
+			if out[i].Access != c.Access {
+				out[i].Access = task.InOut
+			}
+			continue
+		}
+		byAddr[c.Region.Addr] = len(out)
+		out = append(out, c)
+	}
+	return out
+}
+
+// evictLine writes back a dirty victim and removes it. Replacement under
+// pressure pays a fixed bookkeeping cost on top of the writeback. The
+// bookkeeping and writeback take virtual time, during which a task
+// completing on another device may invalidate the victim; the line is
+// re-checked after every blocking step.
+func (n *nodeRT) evictLine(p *sim.Proc, g int, l *coherence.Line) {
+	p.Sleep(n.rt.cfg.EvictionOverhead)
+	if !n.caches[g].Contains(l.Region) {
+		return // invalidated while we slept
+	}
+	if l.Dirty {
+		n.writeBackLine(p, g, l.Region)
+		if !n.caches[g].Contains(l.Region) {
+			return
+		}
+	}
+	n.dropLine(g, l.Region)
+}
+
+// dropLine removes r from GPU g's cache and directory holders.
+func (n *nodeRT) dropLine(g int, r memspace.Region) {
+	loc := memspace.GPU(n.id, g)
+	n.caches[g].Remove(r)
+	if s := n.devs[g].Store(); s != nil {
+		s.Drop(r)
+	}
+	n.dir.DropHolder(r, loc)
+}
+
+// writeBackLine copies GPU g's version of r to the host and marks the host
+// a holder.
+func (n *nodeRT) writeBackLine(p *sim.Proc, g int, r memspace.Region) {
+	start := p.Now()
+	n.devs[g].Copy(p, gpusim.D2H, r, n.hostStore, false)
+	n.rt.cfg.Trace.Record(trace.Span{Kind: trace.XferD2H, Name: "writeback",
+		Node: n.id, Dev: g, Start: start, End: p.Now(), Bytes: r.Size})
+	n.caches[g].Clean(r)
+	n.dir.AddHolder(r, memspace.Host(n.id))
+	n.rt.writebacks++
+}
+
+// fetchToGPU brings the current version of r into GPU g, assuming the cache
+// line is already allocated and pinned. Concurrent fetches of the same
+// region to the same device coalesce.
+func (n *nodeRT) fetchToGPU(p *sim.Proc, g int, r memspace.Region) {
+	loc := memspace.GPU(n.id, g)
+	key := inflightKey{addr: r.Addr, dev: g}
+	if ev, busy := n.inflight[key]; busy {
+		ev.Wait(p)
+		return
+	}
+	if n.dir.IsHolder(r, loc) {
+		return
+	}
+	ev := sim.NewEvent(n.rt.e)
+	n.inflight[key] = ev
+	defer func() {
+		delete(n.inflight, key)
+		ev.Trigger()
+	}()
+	// The data must be in this node's host memory first (Fermi-era CUDA:
+	// no peer-to-peer; remote data arrives over the wire into the host).
+	n.fetchToHost(p, r)
+	start := p.Now()
+	n.devs[g].Copy(p, gpusim.H2D, r, n.hostStore, false)
+	n.rt.cfg.Trace.Record(trace.Span{Kind: trace.XferH2D, Name: "fetch",
+		Node: n.id, Dev: g, Start: start, End: p.Now(), Bytes: r.Size})
+	n.dir.AddHolder(r, loc)
+}
+
+// fetchToHost makes this node's host memory hold the current, fully
+// combined version of r.
+func (n *nodeRT) fetchToHost(p *sim.Proc, r memspace.Region) {
+	n.fetchToHostInner(p, r, true)
+}
+
+func (n *nodeRT) fetchToHostInner(p *sim.Proc, r memspace.Region, combine bool) {
+	host := memspace.Host(n.id)
+	key := inflightKey{addr: r.Addr, dev: hostDevKey}
+	if ev, busy := n.inflight[key]; busy {
+		ev.Wait(p)
+		return
+	}
+	if combine && len(n.redPartials[r.Addr]) > 0 {
+		n.combineReduction(p, r)
+	}
+	if n.dir.IsHolder(r, host) || !n.dir.Known(r) {
+		return
+	}
+	ev := sim.NewEvent(n.rt.e)
+	n.inflight[key] = ev
+	defer func() {
+		delete(n.inflight, key)
+		ev.Trigger()
+	}()
+	holders := n.dir.Holders(r)
+	// Prefer a local GPU (cheap D2H) over a remote node.
+	for _, h := range holders {
+		if h.Node == n.id && !h.IsHost() {
+			n.devs[h.Dev].Copy(p, gpusim.D2H, r, n.hostStore, false)
+			n.caches[h.Dev].Clean(r)
+			n.dir.AddHolder(r, host)
+			n.rt.writebacks++
+			return
+		}
+	}
+	if !n.isMaster() {
+		panic(fmt.Sprintf("core: node %d asked to fetch %v it does not hold", n.id, r))
+	}
+	// Remote holder: pull across the network (cluster layer).
+	n.rt.pullToMaster(p, r, holders[0].Node)
+}
+
+// DebugPlacement toggles placement tracing (development only).
+func DebugPlacement(on bool) { debugPlacement = on }
+
+// stageReduction prepares GPU g's private accumulator for region r: a
+// zero-initialized cache line on first use (the reduction identity), the
+// existing partial on subsequent tasks. The line carries an extra pin for
+// the whole reduction phase so replacement cannot clobber a partial.
+func (n *nodeRT) stageReduction(g int, r memspace.Region) {
+	cache := n.caches[g]
+	if cache.Contains(r) {
+		cache.Pin(r)
+		return
+	}
+	victims, ok := cache.MakeSpace(r.Size)
+	if !ok {
+		panic(fmt.Sprintf("core: reduction accumulator %v does not fit on %v", r, cache.Location()))
+	}
+	for _, v := range victims {
+		// Eviction work is bookkeeping-only here; reductions are staged
+		// synchronously (no blocking point is acceptable mid-registration).
+		if v.Dirty {
+			panic("core: reduction staging would evict a dirty line; enlarge the cache headroom")
+		}
+		n.dropLine(g, v.Region)
+	}
+	cache.Insert(r, false)
+	cache.Pin(r) // task pin, released at retire
+	cache.Pin(r) // reduction-phase pin, released at combine
+	if s := n.devs[g].Store(); s != nil {
+		s.Drop(r) // fresh zeroed bytes: the reduction identity
+	}
+	n.redPartials[r.Addr] = append(n.redPartials[r.Addr], g)
+}
+
+// registerReduction records the combiner for each Red dependence of t.
+func (n *nodeRT) registerReduction(t *task.Task) {
+	for _, d := range t.Deps {
+		if d.Access != task.Red {
+			continue
+		}
+		c, ok := t.Reductions[d.Region.Addr]
+		if !ok {
+			panic(fmt.Sprintf("core: %v has a reduction dependence on %v but no combiner", t, d.Region))
+		}
+		n.redCombiners[d.Region.Addr] = c
+	}
+}
+
+// combineReduction folds every GPU partial of r into the host copy and
+// releases the accumulators. Runs before the first post-reduction reader;
+// the dependency graph guarantees all reduction tasks have finished.
+func (n *nodeRT) combineReduction(p *sim.Proc, r memspace.Region) {
+	gpus := n.redPartials[r.Addr]
+	delete(n.redPartials, r.Addr)
+	combiner := n.redCombiners[r.Addr]
+	delete(n.redCombiners, r.Addr)
+	var acc []byte
+	if n.hostStore != nil {
+		acc = n.hostStore.Bytes(r)
+	}
+	for _, g := range gpus {
+		partial := n.devs[g].ReadBack(p, r)
+		// Host-side fold cost.
+		p.Sleep(time.Duration(float64(r.Size) / n.spec.HostMemBandwidth * 1e9))
+		if acc != nil && partial != nil && combiner != nil {
+			combiner(acc, partial)
+		}
+		n.caches[g].Unpin(r)
+		n.dropLine(g, r)
+		n.rt.writebacks++
+	}
+	// The host copy is now the combined current version.
+	n.produced(r, memspace.Host(n.id))
+}

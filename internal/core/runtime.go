@@ -1,0 +1,355 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/bsc-repro/ompss/internal/depgraph"
+	"github.com/bsc-repro/ompss/internal/memspace"
+	"github.com/bsc-repro/ompss/internal/netsim"
+	"github.com/bsc-repro/ompss/internal/sched"
+	"github.com/bsc-repro/ompss/internal/sim"
+	"github.com/bsc-repro/ompss/internal/task"
+)
+
+// Runtime is one simulated machine running one OmpSs application.
+type Runtime struct {
+	e      *sim.Engine
+	cfg    Config
+	fabric *netsim.Fabric
+	nodes  []*nodeRT
+	alloc  *memspace.Allocator
+
+	taskSeq  task.ID
+	graph    *depgraph.Graph
+	pending  int
+	idleEvt  *sim.Event
+	taskDone map[task.ID]*sim.Event
+
+	// releasePlace is the place whose finishing task is currently being
+	// retired; the graph's onReady callback reads it to tag released
+	// successors for the "dependencies" policy.
+	releasePlace int
+
+	// Cross-cutting counters not owned by a device or interface.
+	presends   int
+	writebacks int
+	bytesMtoS  uint64
+	bytesStoS  uint64
+	remoteRun  int
+
+	cl *clusterState
+	// clSch is the cluster-level scheduler (nil on single-node machines):
+	// place k is node k, place 0 the master node itself.
+	clSch sched.Scheduler
+
+	stopped bool
+}
+
+// New builds a runtime over a fresh simulation engine.
+func New(cfg Config) *Runtime {
+	cfg = cfg.withDefaults()
+	e := sim.NewEngine()
+	rt := &Runtime{
+		e:            e,
+		cfg:          cfg,
+		alloc:        memspace.NewAllocator(),
+		taskDone:     make(map[task.ID]*sim.Event),
+		releasePlace: -1,
+	}
+	rt.fabric = netsim.New(e, cfg.Cluster.Net, len(cfg.Cluster.Nodes))
+	for i, spec := range cfg.Cluster.Nodes {
+		rt.nodes = append(rt.nodes, newNodeRT(rt, i, spec))
+	}
+	if len(rt.nodes) > 1 {
+		// No work stealing between node queues at the cluster level: the
+		// paper's runtime does not steal between slave nodes (III.D.1), and
+		// cluster-level steals would migrate a task's data with it.
+		rt.clSch = sched.New(cfg.Scheduler, len(rt.nodes), rt.clusterScore, false, rt.clusterCanRun)
+	}
+	rt.graph = depgraph.New(rt.onReady)
+	rt.idleEvt = sim.NewEvent(e)
+	rt.idleEvt.Trigger() // no tasks yet
+	return rt
+}
+
+// Engine exposes the virtual clock (for tests and harnesses).
+func (rt *Runtime) Engine() *sim.Engine { return rt.e }
+
+// Config returns the effective configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+func (rt *Runtime) master() *nodeRT { return rt.nodes[0] }
+
+// onReady fires inside Submit/Finished when a task's dependencies resolve.
+// On a cluster the ready task enters the cluster-level pool; on a single
+// node it goes straight to the local scheduler.
+func (rt *Runtime) onReady(t *task.Task) {
+	if rt.clSch != nil {
+		if debugPlacement {
+			fmt.Printf("[ready] %s#%d scores=%v releasedBy=%d\n", t.Name, t.ID, rt.clusterScore(t), rt.releasePlace)
+		}
+		rt.clSch.Submit(t, rt.releasePlace)
+	} else {
+		rt.master().sch.Submit(t, rt.releasePlace)
+	}
+	rt.master().signalWork()
+}
+
+// newTaskID mints the next task id.
+func (rt *Runtime) newTaskID() task.ID {
+	rt.taskSeq++
+	return rt.taskSeq
+}
+
+// submit registers t with the dependency graph.
+func (rt *Runtime) submit(t *task.Task) {
+	if rt.pending == 0 {
+		rt.idleEvt = sim.NewEvent(rt.e)
+	}
+	rt.pending++
+	rt.taskDone[t.ID] = sim.NewEvent(rt.e)
+	prev := rt.releasePlace
+	rt.releasePlace = -1 // submit-time readiness is not a release
+	rt.graph.Submit(t)
+	rt.releasePlace = prev
+}
+
+// finishTask retires t, releasing dependents. place is the master-level
+// place that executed it.
+func (rt *Runtime) finishTask(t *task.Task, place int) {
+	rt.releasePlace = place
+	rt.graph.Finished(t)
+	rt.releasePlace = -1
+	if ev, ok := rt.taskDone[t.ID]; ok {
+		ev.Trigger()
+		delete(rt.taskDone, t.ID)
+	}
+	rt.pending--
+	if rt.pending == 0 {
+		rt.idleEvt.Trigger()
+	}
+}
+
+// MainCtx is the handle the application's main function uses: the implicit
+// initial task executing on the master image.
+type MainCtx struct {
+	rt *Runtime
+	p  *sim.Proc
+}
+
+// TaskDef describes one task instance for Submit.
+type TaskDef struct {
+	Name        string
+	Device      task.Device
+	Deps        []task.Dep
+	NoCopyDeps  bool // set to detach copy semantics from the dependence list
+	ExtraCopies []task.Dep
+	// Reductions maps region addresses of Red dependences to combiners.
+	Reductions map[uint64]task.Combiner
+	Work       task.Work
+	// Spawner, when set, runs on the executing node after Work and may
+	// submit nested tasks through the *LocalCtx it receives; the task
+	// completes when they drain. See internal/core/nested.go.
+	Spawner func(interface{})
+}
+
+// Run executes main as the application's initial task and drives the
+// simulation to completion, returning aggregate statistics. The implicit
+// barrier and flush of the end of an OmpSs program are applied after main
+// returns.
+func (rt *Runtime) Run(main func(mc *MainCtx)) (Stats, error) {
+	if rt.stopped {
+		panic("core: Runtime cannot be reused")
+	}
+	if len(rt.nodes) > 1 {
+		rt.registerMasterHandlers()
+	}
+	for _, n := range rt.nodes {
+		n.start()
+	}
+	if len(rt.nodes) > 1 {
+		rt.spawnCommThread()
+	}
+	rt.e.Go("main", func(p *sim.Proc) {
+		mc := &MainCtx{rt: rt, p: p}
+		main(mc)
+		mc.TaskWait() // implicit final barrier + flush
+		rt.shutdown(p)
+	})
+	err := rt.e.Run()
+	rt.stopped = true
+	return rt.collectStats(), err
+}
+
+func (rt *Runtime) shutdown(p *sim.Proc) {
+	for _, n := range rt.nodes {
+		n.stopping = true
+		n.signalWork()
+	}
+	if len(rt.nodes) > 1 {
+		for k := 1; k < len(rt.nodes); k++ {
+			rt.master().ep.AMShort(p, k, amShutdown, nil)
+		}
+		// Close endpoints after the shutdown notices drain.
+		p.Sleep(rt.cfg.Cluster.Net.Latency * 4)
+		for _, n := range rt.nodes {
+			n.ep.Shutdown()
+		}
+	}
+}
+
+// Now returns the current virtual time.
+func (mc *MainCtx) Now() sim.Time { return mc.p.Now() }
+
+// Alloc reserves a program region (logical memory, lazily backed).
+func (mc *MainCtx) Alloc(size uint64) memspace.Region {
+	return mc.rt.alloc.Alloc(size, 0)
+}
+
+// HostBytes exposes the master-host backing bytes of r (nil unless
+// Validate). Call only after TaskWait for deterministic contents.
+func (mc *MainCtx) HostBytes(r memspace.Region) []byte {
+	return mc.rt.master().hostStore.Bytes(r)
+}
+
+// InitSeq initializes r sequentially on the master host (charging host
+// memory bandwidth) and records the master as its holder. fill may be nil.
+func (mc *MainCtx) InitSeq(r memspace.Region, fill func(b []byte)) {
+	rt := mc.rt
+	spec := rt.master().spec
+	mc.p.Sleep(time.Duration(float64(r.Size) / spec.HostMemBandwidth * 1e9))
+	if fill != nil && rt.cfg.Validate {
+		fill(rt.master().hostStore.Bytes(r))
+	}
+	rt.master().dir.Init(r, memspace.Host(0))
+}
+
+// Submit creates a task from def, wiring its dependences. Mirrors
+// "#pragma omp task" with an optional "#pragma omp target device(...)":
+// copy_deps semantics are on unless NoCopyDeps is set, as every example in
+// the paper uses copy_deps.
+func (mc *MainCtx) Submit(def TaskDef) *task.Task {
+	rt := mc.rt
+	t := &task.Task{
+		ID:          rt.newTaskID(),
+		Name:        def.Name,
+		Device:      def.Device,
+		Deps:        def.Deps,
+		CopyDeps:    !def.NoCopyDeps,
+		ExtraCopies: def.ExtraCopies,
+		Reductions:  def.Reductions,
+		Work:        def.Work,
+		Spawner:     def.Spawner,
+	}
+	if t.Work == nil {
+		t.Work = task.NoWork{Label: def.Name}
+	}
+	if t.Device == task.CUDA && rt.cfg.Cluster.TotalGPUs() == 0 {
+		panic("core: CUDA task on a machine with no GPUs")
+	}
+	for _, d := range t.Deps {
+		if d.Access == task.Red {
+			if _, ok := t.Reductions[d.Region.Addr]; !ok {
+				panic(fmt.Sprintf("core: %v has a reduction dependence on %v but no combiner (use the Reduction clause)", t, d.Region))
+			}
+		}
+	}
+	// Task creation overhead on the master thread.
+	mc.p.Sleep(3 * time.Microsecond)
+	rt.submit(t)
+	return t
+}
+
+// TaskWait blocks until all submitted tasks finish, then flushes: every
+// region's current version is made valid on the master host again, exactly
+// like the implicit flush of OmpSs taskwait.
+func (mc *MainCtx) TaskWait() {
+	mc.TaskWaitNoflush()
+	mc.rt.flushAll(mc.p)
+}
+
+// TaskWaitNoflush blocks until all submitted tasks finish but leaves data
+// on the devices (the paper's `taskwait noflush` extension).
+func (mc *MainCtx) TaskWaitNoflush() {
+	mc.rt.idleEvt.Wait(mc.p)
+}
+
+// TaskWaitOn blocks until the data of r has been produced (the `taskwait
+// on(...)` extension), then makes r valid on the master host.
+func (mc *MainCtx) TaskWaitOn(r memspace.Region) {
+	rt := mc.rt
+	for {
+		w := rt.graph.LastWriter(r)
+		if w == nil {
+			break
+		}
+		ev, ok := rt.taskDone[w.ID]
+		if !ok {
+			break
+		}
+		ev.Wait(mc.p)
+	}
+	rt.master().fetchToHost(mc.p, r)
+}
+
+// flushAll pulls every region whose current version is off-host back to the
+// master host, in parallel.
+func (rt *Runtime) flushAll(p *sim.Proc) {
+	m := rt.master()
+	regions := m.dir.Regions()
+	var wait []*sim.Event
+	for _, r := range regions {
+		if m.dir.IsHolder(r, memspace.Host(0)) && len(m.redPartials[r.Addr]) == 0 {
+			continue
+		}
+		r := r
+		done := sim.NewEvent(rt.e)
+		rt.e.Go("flush", func(fp *sim.Proc) {
+			m.fetchToHost(fp, r)
+			done.Trigger()
+		})
+		wait = append(wait, done)
+	}
+	for _, ev := range wait {
+		ev.Wait(p)
+	}
+}
+
+func (rt *Runtime) collectStats() Stats {
+	s := Stats{
+		ElapsedSeconds: rt.e.Now().Seconds(),
+		Presends:       rt.presends,
+		Writebacks:     rt.writebacks,
+		BytesMtoS:      rt.bytesMtoS,
+		BytesStoS:      rt.bytesStoS,
+		TasksRemote:    rt.remoteRun,
+	}
+	for _, n := range rt.nodes {
+		s.TasksPerNode = append(s.TasksPerNode, n.tasksSMP+n.tasksCUDA)
+		s.TasksSMP += n.tasksSMP
+		s.TasksCUDA += n.tasksCUDA
+		for _, d := range n.devs {
+			ds := d.Stats()
+			s.BytesH2D += ds.BytesH2D
+			s.BytesD2H += ds.BytesD2H
+			s.XfersH2D += ds.XfersH2D
+			s.XfersD2H += ds.XfersD2H
+			s.KernelBusySeconds += ds.KernelBusy.Seconds()
+		}
+		for _, c := range n.caches {
+			s.CacheHits += c.Hits
+			s.CacheMisses += c.Misses
+			s.Evictions += c.Evictions
+		}
+		fs := rt.fabric.Iface(n.id).Stats()
+		s.NetBytes += fs.BytesSent
+		s.NetMsgs += fs.MsgsSent
+	}
+	return s
+}
+
+func (rt *Runtime) String() string {
+	return fmt.Sprintf("Runtime(%s, %d nodes, sched=%s, cache=%s)",
+		rt.cfg.Cluster.Name, len(rt.nodes), rt.cfg.Scheduler, rt.cfg.CachePolicy)
+}

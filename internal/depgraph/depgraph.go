@@ -1,0 +1,210 @@
+// Package depgraph maintains the task dependency DAG of the runtime
+// (Section III.C.1 of the paper): arcs are created for read-after-write,
+// write-after-read and write-after-write conflicts between sibling tasks,
+// based on their input/output/inout clauses. Regions never partially
+// overlap (the paper's implementation restriction), so conflicts are
+// detected by exact region address.
+//
+// One Graph instance covers one dynamic extent (the children of one parent
+// task); this is what makes the hierarchical, distributable implementation
+// possible.
+package depgraph
+
+import (
+	"fmt"
+
+	"github.com/bsc-repro/ompss/internal/memspace"
+	"github.com/bsc-repro/ompss/internal/task"
+)
+
+type node struct {
+	t          *task.Task
+	waitCount  int
+	done       bool
+	successors []*node
+	succSet    map[task.ID]bool
+}
+
+type regionState struct {
+	lastWriter *node
+	// readers since the last write; cleared when a new writer arrives.
+	readers []*node
+	// reducers since the last write: reduction tasks commute with each
+	// other but order against readers and writers.
+	reducers []*node
+}
+
+// Graph is the dependency DAG for one dynamic extent.
+type Graph struct {
+	onReady func(*task.Task)
+	nodes   map[task.ID]*node
+	regions map[uint64]*regionState
+
+	submitted int
+	finished  int
+}
+
+// New returns an empty graph. onReady is invoked (synchronously) whenever a
+// task's dependencies are all satisfied — at Submit time for tasks with no
+// pending predecessors, or during Finished for released successors.
+func New(onReady func(*task.Task)) *Graph {
+	return &Graph{
+		onReady: onReady,
+		nodes:   make(map[task.ID]*node),
+		regions: make(map[uint64]*regionState),
+	}
+}
+
+// mergedAccess combines duplicate clauses on the same region (e.g. a task
+// listing a region both input and output behaves as inout).
+func mergedAccess(deps []task.Dep) []task.Dep {
+	byAddr := make(map[uint64]int)
+	var out []task.Dep
+	for _, d := range deps {
+		if !d.Region.Valid() {
+			continue
+		}
+		if i, seen := byAddr[d.Region.Addr]; seen {
+			if out[i].Region != d.Region {
+				panic(fmt.Sprintf("depgraph: partially overlapping regions %v and %v are unsupported", out[i].Region, d.Region))
+			}
+			if out[i].Access != d.Access {
+				if out[i].Access == task.Red || d.Access == task.Red {
+					panic(fmt.Sprintf("depgraph: region %v mixes reduction with other accesses in one task", d.Region))
+				}
+				out[i].Access = task.InOut
+			}
+			continue
+		}
+		byAddr[d.Region.Addr] = len(out)
+		out = append(out, d)
+	}
+	return out
+}
+
+func (g *Graph) region(r memspace.Region) *regionState {
+	rs, ok := g.regions[r.Addr]
+	if !ok {
+		rs = &regionState{}
+		g.regions[r.Addr] = rs
+	}
+	return rs
+}
+
+// addArc makes succ wait for pred unless pred already finished or the arc
+// exists.
+func addArc(pred, succ *node) {
+	if pred == nil || pred.done || pred == succ {
+		return
+	}
+	if pred.succSet[succ.t.ID] {
+		return
+	}
+	pred.succSet[succ.t.ID] = true
+	pred.successors = append(pred.successors, succ)
+	succ.waitCount++
+}
+
+// Submit adds t to the graph, wiring RAW/WAR/WAW arcs against earlier
+// siblings. If t has no pending predecessors, onReady fires before Submit
+// returns.
+func (g *Graph) Submit(t *task.Task) {
+	if _, dup := g.nodes[t.ID]; dup {
+		panic(fmt.Sprintf("depgraph: duplicate submit of %v", t))
+	}
+	n := &node{t: t, succSet: make(map[task.ID]bool)}
+	g.nodes[t.ID] = n
+	g.submitted++
+	for _, d := range mergedAccess(t.Deps) {
+		rs := g.region(d.Region)
+		if d.Access == task.Red {
+			// Reductions wait for the previous writer and any readers of
+			// the old value, but not for each other.
+			addArc(rs.lastWriter, n)
+			for _, rd := range rs.readers {
+				addArc(rd, n)
+			}
+			rs.reducers = append(rs.reducers, n)
+			rs.readers = nil
+			continue
+		}
+		if d.Access.Reads() {
+			addArc(rs.lastWriter, n) // read-after-write
+			for _, rx := range rs.reducers {
+				addArc(rx, n) // read-after-reduction: combine must be possible
+			}
+		}
+		if d.Access.Writes() {
+			addArc(rs.lastWriter, n) // write-after-write
+			for _, rd := range rs.readers {
+				addArc(rd, n) // write-after-read
+			}
+			for _, rx := range rs.reducers {
+				addArc(rx, n) // write-after-reduction
+			}
+		}
+		// Update region bookkeeping after arcs are in place.
+		if d.Access.Writes() {
+			rs.lastWriter = n
+			rs.readers = nil
+			rs.reducers = nil
+		}
+		if d.Access == task.In {
+			rs.readers = append(rs.readers, n)
+			rs.reducers = nil
+		}
+	}
+	if n.waitCount == 0 {
+		g.onReady(t)
+	}
+}
+
+// Finished marks t complete and releases successors whose last pending
+// predecessor it was; each release fires onReady in arc-creation order.
+func (g *Graph) Finished(t *task.Task) {
+	n, ok := g.nodes[t.ID]
+	if !ok {
+		panic(fmt.Sprintf("depgraph: Finished for unknown %v", t))
+	}
+	if n.done {
+		panic(fmt.Sprintf("depgraph: double Finished for %v", t))
+	}
+	n.done = true
+	g.finished++
+	for _, s := range n.successors {
+		s.waitCount--
+		if s.waitCount == 0 {
+			g.onReady(s.t)
+		}
+	}
+	n.successors = nil
+	delete(g.nodes, t.ID)
+}
+
+// Successors returns the tasks currently waiting on t, in arc order. Used
+// by the "dependencies" scheduling policy to run a successor of a just-
+// finished task. Returns nil for unknown tasks.
+func (g *Graph) Successors(t *task.Task) []*task.Task {
+	n, ok := g.nodes[t.ID]
+	if !ok {
+		return nil
+	}
+	out := make([]*task.Task, 0, len(n.successors))
+	for _, s := range n.successors {
+		out = append(out, s.t)
+	}
+	return out
+}
+
+// Pending returns the number of submitted-but-unfinished tasks.
+func (g *Graph) Pending() int { return g.submitted - g.finished }
+
+// LastWriter returns the unfinished task that will produce the current
+// version of r, or nil. Used by taskwait-on.
+func (g *Graph) LastWriter(r memspace.Region) *task.Task {
+	rs, ok := g.regions[r.Addr]
+	if !ok || rs.lastWriter == nil || rs.lastWriter.done {
+		return nil
+	}
+	return rs.lastWriter.t
+}

@@ -1,0 +1,151 @@
+// Package gasnet provides a GASNet-style active-message layer on top of the
+// netsim fabric. Each node owns an Endpoint with a registry of named
+// handlers; AMShort carries only control arguments, AMMedium carries an
+// opaque payload size, and AMLong additionally delivers the bytes of a
+// program region into the destination node's host store. The Nanos++
+// cluster dependent layer implements all control and data traffic with
+// these primitives, as the paper's implementation does (Section III.D.1).
+package gasnet
+
+import (
+	"fmt"
+
+	"github.com/bsc-repro/ompss/internal/memspace"
+	"github.com/bsc-repro/ompss/internal/netsim"
+	"github.com/bsc-repro/ompss/internal/sim"
+)
+
+// headerBytes is the modeled wire size of AM headers and control arguments.
+const headerBytes = 64
+
+// AM is a delivered active message as seen by a handler.
+type AM struct {
+	From    int
+	To      int
+	Handler string
+	Args    interface{}
+	// Region and payload size for AMLong/AMMedium; zero Region for AMShort.
+	Region memspace.Region
+	Bytes  uint64
+}
+
+// Handler processes one delivered active message. Handlers run in their own
+// simulation process and may block, issue further AMs, or reply.
+type Handler func(p *sim.Proc, am AM)
+
+type wireAM struct {
+	am       AM
+	srcStore *memspace.Store // for AMLong byte delivery
+}
+
+// Endpoint is one node's attachment to the fabric.
+type Endpoint struct {
+	f        *netsim.Fabric
+	node     int
+	handlers map[string]Handler
+	store    *memspace.Store // host store of this node; may be nil
+	started  bool
+}
+
+// NewEndpoint returns an endpoint for node on fabric f. store is the node's
+// host backing store (nil in cost-only mode).
+func NewEndpoint(f *netsim.Fabric, node int, store *memspace.Store) *Endpoint {
+	return &Endpoint{f: f, node: node, handlers: make(map[string]Handler), store: store}
+}
+
+// Node returns this endpoint's node id.
+func (ep *Endpoint) Node() int { return ep.node }
+
+// Store returns this endpoint's host store.
+func (ep *Endpoint) Store() *memspace.Store { return ep.store }
+
+// Register installs handler h under name. Must be called before Start.
+func (ep *Endpoint) Register(name string, h Handler) {
+	if ep.started {
+		panic("gasnet: Register after Start")
+	}
+	if _, dup := ep.handlers[name]; dup {
+		panic("gasnet: duplicate handler " + name)
+	}
+	ep.handlers[name] = h
+}
+
+// Start launches the endpoint's dispatcher process, which pulls delivered
+// messages off the fabric inbox and spawns a handler process for each.
+// AMLong payload bytes land in the destination host store just before the
+// handler runs.
+func (ep *Endpoint) Start(e *sim.Engine) {
+	if ep.started {
+		panic("gasnet: double Start")
+	}
+	ep.started = true
+	inbox := ep.f.Iface(ep.node).Inbox()
+	e.Go(fmt.Sprintf("gasnet:dispatch:%d", ep.node), func(p *sim.Proc) {
+		for {
+			msg, ok := inbox.Get(p)
+			if !ok {
+				return
+			}
+			w, isAM := msg.Payload.(wireAM)
+			if !isAM {
+				panic(fmt.Sprintf("gasnet: foreign message on node %d inbox", ep.node))
+			}
+			h, known := ep.handlers[w.am.Handler]
+			if !known {
+				panic(fmt.Sprintf("gasnet: node %d has no handler %q", ep.node, w.am.Handler))
+			}
+			if w.am.Region.Valid() && w.srcStore != nil {
+				memspace.CopyRegion(ep.store, w.srcStore, w.am.Region)
+			}
+			am := w.am
+			e.Go(fmt.Sprintf("gasnet:h:%s@%d", am.Handler, ep.node), func(hp *sim.Proc) {
+				h(hp, am)
+			})
+		}
+	})
+}
+
+// Shutdown closes the endpoint's inbox, terminating its dispatcher once
+// drained.
+func (ep *Endpoint) Shutdown() {
+	ep.f.Iface(ep.node).Inbox().Close()
+}
+
+// AMShort sends a control-only active message; the caller blocks for the
+// sender-side cost.
+func (ep *Endpoint) AMShort(p *sim.Proc, to int, handler string, args interface{}) {
+	ep.send(p, to, handler, args, memspace.Region{}, 0)
+}
+
+// AMMedium sends an active message carrying bytes of opaque payload.
+func (ep *Endpoint) AMMedium(p *sim.Proc, to int, handler string, args interface{}, bytes uint64) {
+	ep.send(p, to, handler, args, memspace.Region{}, bytes)
+}
+
+// AMLong sends an active message carrying the bytes of region r from this
+// node's host store into the destination's host store.
+func (ep *Endpoint) AMLong(p *sim.Proc, to int, handler string, args interface{}, r memspace.Region) {
+	ep.send(p, to, handler, args, r, r.Size)
+}
+
+// AMLongAsync is AMLong initiated from a spawned process; the returned
+// event triggers when the message has been delivered.
+func (ep *Endpoint) AMLongAsync(to int, handler string, args interface{}, r memspace.Region) *sim.Event {
+	return ep.f.SendAsync(netsim.Message{
+		From: ep.node, To: to, Size: headerBytes + r.Size,
+		Payload: wireAM{
+			am:       AM{From: ep.node, To: to, Handler: handler, Args: args, Region: r, Bytes: r.Size},
+			srcStore: ep.store,
+		},
+	})
+}
+
+func (ep *Endpoint) send(p *sim.Proc, to int, handler string, args interface{}, r memspace.Region, bytes uint64) {
+	ep.f.Send(p, netsim.Message{
+		From: ep.node, To: to, Size: headerBytes + bytes,
+		Payload: wireAM{
+			am:       AM{From: ep.node, To: to, Handler: handler, Args: args, Region: r, Bytes: bytes},
+			srcStore: ep.store,
+		},
+	})
+}

@@ -1,0 +1,254 @@
+// Package gpusim models a GPU device for the discrete-event simulation: a
+// compute engine, two DMA engines (host-to-device and device-to-host), a
+// device memory capacity account, and an optional backing store so that
+// kernels can really execute for validation.
+//
+// The timing model is a roofline: a kernel occupies the compute engine for
+// launchOverhead + max(flops/effectiveFlops, bytes/memBandwidth); a transfer
+// occupies its DMA engine for pcieLatency + size/pcieBandwidth, plus an
+// optional staging memcpy when the source is not page-locked (the paper's
+// intermediate cudaMallocHost buffer).
+package gpusim
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/bsc-repro/ompss/internal/hw"
+	"github.com/bsc-repro/ompss/internal/memspace"
+	"github.com/bsc-repro/ompss/internal/sim"
+)
+
+// Dir is a transfer direction.
+type Dir int
+
+const (
+	// H2D transfers host memory to device memory.
+	H2D Dir = iota
+	// D2H transfers device memory to host memory.
+	D2H
+)
+
+func (d Dir) String() string {
+	if d == H2D {
+		return "H2D"
+	}
+	return "D2H"
+}
+
+// Stats aggregates device activity counters.
+type Stats struct {
+	Kernels    int
+	BytesH2D   uint64
+	BytesD2H   uint64
+	XfersH2D   int
+	XfersD2H   int
+	KernelBusy sim.Time
+	DMABusy    sim.Time
+}
+
+// Device is one simulated GPU.
+type Device struct {
+	e    *sim.Engine
+	spec hw.GPUSpec
+	loc  memspace.Location
+
+	// overlap: kernels and transfers proceed on independent engines (CUDA
+	// streams). Without overlap every operation serializes on one queue,
+	// matching the paper's observation that CUDA tends to serialize
+	// transfers after kernel execution.
+	overlap bool
+
+	compute *sim.Resource
+	h2d     *sim.Resource
+	d2h     *sim.Resource
+	serial  *sim.Resource // used for everything when overlap is off
+
+	memUsed uint64
+	store   *memspace.Store // nil in cost-only mode
+
+	stats Stats
+}
+
+// New returns a device for GPU dev of node at location loc. If validate is
+// true the device carries a backing store and kernels can really run.
+func New(e *sim.Engine, spec hw.GPUSpec, loc memspace.Location, overlap, validate bool) *Device {
+	d := &Device{
+		e:       e,
+		spec:    spec,
+		loc:     loc,
+		overlap: overlap,
+		compute: sim.NewResource(e, loc.String()+":compute", 1),
+		h2d:     sim.NewResource(e, loc.String()+":h2d", 1),
+		d2h:     sim.NewResource(e, loc.String()+":d2h", 1),
+		serial:  sim.NewResource(e, loc.String()+":queue", 1),
+	}
+	if validate {
+		d.store = memspace.NewStore(loc)
+	}
+	return d
+}
+
+// Spec returns the hardware description.
+func (d *Device) Spec() hw.GPUSpec { return d.spec }
+
+// Location returns the device's address-space location.
+func (d *Device) Location() memspace.Location { return d.loc }
+
+// Store returns the device backing store (nil in cost-only mode).
+func (d *Device) Store() *memspace.Store { return d.store }
+
+// Overlap reports whether transfer/compute overlap is enabled.
+func (d *Device) Overlap() bool { return d.overlap }
+
+// MemUsed returns the bytes currently allocated on the device.
+func (d *Device) MemUsed() uint64 { return d.memUsed }
+
+// MemFree returns the bytes still allocatable.
+func (d *Device) MemFree() uint64 { return d.spec.MemBytes - d.memUsed }
+
+// Alloc reserves size bytes of device memory, reporting whether it fits.
+func (d *Device) Alloc(size uint64) bool {
+	if d.memUsed+size > d.spec.MemBytes {
+		return false
+	}
+	d.memUsed += size
+	return true
+}
+
+// Free releases size bytes of device memory.
+func (d *Device) Free(size uint64) {
+	if size > d.memUsed {
+		panic(fmt.Sprintf("gpusim: free of %d bytes exceeds %d used on %v", size, d.memUsed, d.loc))
+	}
+	d.memUsed -= size
+}
+
+// KernelCost returns the modeled duration of a kernel touching the given
+// flops and device-memory bytes.
+func KernelCost(spec hw.GPUSpec, flops, bytes float64) time.Duration {
+	tc := flops / spec.EffectiveFlops()
+	tm := bytes / spec.MemBandwidth
+	t := tc
+	if tm > t {
+		t = tm
+	}
+	return spec.KernelLaunchOverhead + time.Duration(t*1e9)
+}
+
+// TransferCost returns the modeled PCIe duration for size bytes, excluding
+// staging.
+func TransferCost(spec hw.GPUSpec, size uint64) time.Duration {
+	return spec.PCIeLatency + time.Duration(float64(size)/spec.PCIeBandwidth*1e9)
+}
+
+// StagingCost returns the host memcpy duration for staging size bytes into
+// or out of a page-locked buffer.
+func StagingCost(spec hw.GPUSpec, size uint64) time.Duration {
+	return time.Duration(float64(size) / spec.PinnedCopyBandwidth * 1e9)
+}
+
+func (d *Device) computeEngine() *sim.Resource {
+	if d.overlap {
+		return d.compute
+	}
+	return d.serial
+}
+
+func (d *Device) dmaEngine(dir Dir) *sim.Resource {
+	if !d.overlap {
+		return d.serial
+	}
+	if dir == H2D {
+		return d.h2d
+	}
+	return d.d2h
+}
+
+// LaunchAsync starts a kernel with the given modeled cost and optional real
+// execution body. It returns an Event that triggers when the kernel
+// completes. body runs at completion time against the device store.
+func (d *Device) LaunchAsync(name string, cost time.Duration, body func(devStore *memspace.Store)) *sim.Event {
+	done := sim.NewEvent(d.e)
+	d.e.Go("kernel:"+name, func(p *sim.Proc) {
+		eng := d.computeEngine()
+		eng.Acquire(p)
+		p.Sleep(cost)
+		eng.Release()
+		d.stats.Kernels++
+		d.stats.KernelBusy += sim.Time(cost)
+		if body != nil {
+			body(d.store)
+		}
+		done.Trigger()
+	})
+	return done
+}
+
+// Launch runs a kernel synchronously from process p.
+func (d *Device) Launch(p *sim.Proc, name string, cost time.Duration, body func(devStore *memspace.Store)) {
+	d.LaunchAsync(name, cost, body).Wait(p)
+}
+
+// CopyAsync starts a transfer of region r between the host store and the
+// device store. pinned indicates the host side is page-locked (no staging
+// copy needed). The returned Event triggers at completion; the byte copy
+// between stores happens at completion time.
+func (d *Device) CopyAsync(dir Dir, r memspace.Region, hostStore *memspace.Store, pinned bool) *sim.Event {
+	done := sim.NewEvent(d.e)
+	d.e.Go(fmt.Sprintf("dma:%v:%v", d.loc, dir), func(p *sim.Proc) {
+		if !pinned && d.overlap {
+			// Stage user memory into an intermediate page-locked buffer
+			// before the DMA can start (H2D), or out of it after (D2H). The
+			// staging memcpy burns host time either way; model it serially
+			// on this transfer.
+			p.Sleep(StagingCost(d.spec, r.Size))
+		}
+		eng := d.dmaEngine(dir)
+		cost := TransferCost(d.spec, r.Size)
+		eng.Acquire(p)
+		p.Sleep(cost)
+		eng.Release()
+		d.stats.DMABusy += sim.Time(cost)
+		switch dir {
+		case H2D:
+			d.stats.BytesH2D += r.Size
+			d.stats.XfersH2D++
+			memspace.CopyRegion(d.store, hostStore, r)
+		case D2H:
+			d.stats.BytesD2H += r.Size
+			d.stats.XfersD2H++
+			memspace.CopyRegion(hostStore, d.store, r)
+		}
+		done.Trigger()
+	})
+	return done
+}
+
+// Copy performs a synchronous transfer from process p.
+func (d *Device) Copy(p *sim.Proc, dir Dir, r memspace.Region, hostStore *memspace.Store, pinned bool) {
+	d.CopyAsync(dir, r, hostStore, pinned).Wait(p)
+}
+
+// Stats returns a snapshot of the device counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// ReadBack charges a device-to-host transfer of r and returns a copy of
+// the device bytes without touching any host store — used to collect
+// reduction partials. Returns nil in cost-only mode.
+func (d *Device) ReadBack(p *sim.Proc, r memspace.Region) []byte {
+	eng := d.dmaEngine(D2H)
+	cost := TransferCost(d.spec, r.Size)
+	eng.Acquire(p)
+	p.Sleep(cost)
+	eng.Release()
+	d.stats.DMABusy += sim.Time(cost)
+	d.stats.BytesD2H += r.Size
+	d.stats.XfersD2H++
+	if d.store == nil {
+		return nil
+	}
+	out := make([]byte, r.Size)
+	copy(out, d.store.Bytes(r))
+	return out
+}

@@ -1,0 +1,176 @@
+// Package hw describes the simulated hardware: GPU devices, host nodes,
+// PCIe links and the cluster interconnect. The two presets mirror the
+// evaluation environments of the paper (Section IV.A.1): a single node with
+// four Tesla S2050-class GPUs, and a cluster whose nodes carry one GTX
+// 480-class GPU each, connected by QDR InfiniBand.
+package hw
+
+import "time"
+
+// GPUSpec describes one GPU device for the roofline cost model.
+type GPUSpec struct {
+	Name string
+	// PeakSPFlops is the peak single-precision rate in FLOP/s.
+	PeakSPFlops float64
+	// KernelEfficiency derates the peak for realistic kernels (CUBLAS SGEMM
+	// reaches roughly 60-70% of peak on Fermi-class parts).
+	KernelEfficiency float64
+	// MemBandwidth is the device memory bandwidth in bytes/s.
+	MemBandwidth float64
+	// MemBytes is the device memory capacity available to the runtime.
+	MemBytes uint64
+	// KernelLaunchOverhead is the fixed host-side cost of launching a kernel.
+	KernelLaunchOverhead time.Duration
+	// PCIeBandwidth is the effective host<->device bandwidth in bytes/s
+	// (each direction; the two directions are independent engines).
+	PCIeBandwidth float64
+	// PCIeLatency is the fixed per-transfer setup latency.
+	PCIeLatency time.Duration
+	// PinnedCopyBandwidth is the host memcpy bandwidth used when staging
+	// user memory into page-locked buffers for async transfers.
+	PinnedCopyBandwidth float64
+}
+
+// EffectiveFlops returns the derated compute rate.
+func (g GPUSpec) EffectiveFlops() float64 { return g.PeakSPFlops * g.KernelEfficiency }
+
+// NodeSpec describes one cluster node.
+type NodeSpec struct {
+	Name     string
+	CPUCores int
+	// CPUFlops is the per-core effective single-precision rate, for SMP tasks.
+	CPUFlops float64
+	// HostMemBandwidth is host RAM bandwidth in bytes/s (memcpy and
+	// host-side kernel work).
+	HostMemBandwidth float64
+	HostMemBytes     uint64
+	GPUs             []GPUSpec
+}
+
+// NetSpec describes the cluster interconnect.
+type NetSpec struct {
+	Name string
+	// Bandwidth is the effective point-to-point bandwidth in bytes/s.
+	Bandwidth float64
+	// Latency is the one-way message latency.
+	Latency time.Duration
+	// PerMessageOverhead is the sender-side CPU cost per message (active
+	// message handler dispatch, header packing).
+	PerMessageOverhead time.Duration
+}
+
+// ClusterSpec is a full machine description.
+type ClusterSpec struct {
+	Name  string
+	Nodes []NodeSpec
+	Net   NetSpec
+}
+
+// TotalGPUs returns the number of GPUs across all nodes.
+func (c ClusterSpec) TotalGPUs() int {
+	n := 0
+	for _, nd := range c.Nodes {
+		n += len(nd.GPUs)
+	}
+	return n
+}
+
+// TeslaS2050 returns the GPU spec of the multi-GPU system's devices:
+// Tesla S2050, 2.62 GB visible memory, ~1.03 TFLOPS SP peak, 148 GB/s.
+func TeslaS2050() GPUSpec {
+	return GPUSpec{
+		Name:                 "Tesla S2050",
+		PeakSPFlops:          1.03e12,
+		KernelEfficiency:     0.62,
+		MemBandwidth:         148e9,
+		MemBytes:             2620 << 20, // 2.62 GB, paper's visible capacity
+		KernelLaunchOverhead: 8 * time.Microsecond,
+		PCIeBandwidth:        5.6e9, // PCIe 2.0 x16 effective
+		PCIeLatency:          12 * time.Microsecond,
+		PinnedCopyBandwidth:  6.0e9,
+	}
+}
+
+// GTX480 returns the GPU spec of the cluster nodes: GTX 480, 1.5 GB,
+// 1.35 TFLOPS SP peak, 177.4 GB/s (paper's numbers).
+func GTX480() GPUSpec {
+	return GPUSpec{
+		Name:                 "GTX 480",
+		PeakSPFlops:          1.35e12,
+		KernelEfficiency:     0.60,
+		MemBandwidth:         177.4e9,
+		MemBytes:             1500 << 20,
+		KernelLaunchOverhead: 8 * time.Microsecond,
+		PCIeBandwidth:        5.6e9,
+		PCIeLatency:          12 * time.Microsecond,
+		PinnedCopyBandwidth:  6.0e9,
+	}
+}
+
+// MultiGPUNode returns the paper's multi-GPU evaluation system: two Xeon
+// E5440 (8 cores total), 15.66 GB RAM at 148 GB/s peak, and up to four
+// Tesla S2050 GPUs (numGPUs selects how many are used, 1..4).
+func MultiGPUNode(numGPUs int) NodeSpec {
+	if numGPUs < 1 || numGPUs > 4 {
+		panic("hw: MultiGPUNode supports 1..4 GPUs")
+	}
+	gpus := make([]GPUSpec, numGPUs)
+	for i := range gpus {
+		gpus[i] = TeslaS2050()
+	}
+	return NodeSpec{
+		Name:             "multi-gpu-node",
+		CPUCores:         8,
+		CPUFlops:         8e9,
+		HostMemBandwidth: 148e9 / 8, // per-core share of the paper's 148 GB/s peak
+		HostMemBytes:     15660 << 20,
+		GPUs:             gpus,
+	}
+}
+
+// ClusterNode returns one node of the paper's GPU cluster: two Xeon E5620
+// (8 cores), 25 GB RAM, one GTX 480.
+func ClusterNode() NodeSpec {
+	return NodeSpec{
+		Name:             "cluster-node",
+		CPUCores:         8,
+		CPUFlops:         9e9,
+		HostMemBandwidth: 20e9,
+		HostMemBytes:     25 << 30,
+		GPUs:             []GPUSpec{GTX480()},
+	}
+}
+
+// QDRInfiniband returns the paper's interconnect: "QDR Infiniband network
+// with a bandwidth peak of 8 Gbits/s" and native-conduit GASNet latencies.
+func QDRInfiniband() NetSpec {
+	return NetSpec{
+		Name:               "QDR InfiniBand (GASNet ibv conduit)",
+		Bandwidth:          1e9, // 8 Gbit/s
+		Latency:            2 * time.Microsecond,
+		PerMessageOverhead: 600 * time.Nanosecond,
+	}
+}
+
+// MultiGPUSystem returns the full multi-GPU evaluation environment as a
+// single-node "cluster".
+func MultiGPUSystem(numGPUs int) ClusterSpec {
+	return ClusterSpec{
+		Name:  "multi-GPU node",
+		Nodes: []NodeSpec{MultiGPUNode(numGPUs)},
+		Net:   QDRInfiniband(), // unused with one node
+	}
+}
+
+// GPUCluster returns the cluster evaluation environment with numNodes
+// single-GPU nodes on QDR InfiniBand.
+func GPUCluster(numNodes int) ClusterSpec {
+	if numNodes < 1 {
+		panic("hw: GPUCluster needs at least one node")
+	}
+	nodes := make([]NodeSpec, numNodes)
+	for i := range nodes {
+		nodes[i] = ClusterNode()
+	}
+	return ClusterSpec{Name: "GPU cluster", Nodes: nodes, Net: QDRInfiniband()}
+}

@@ -1,0 +1,68 @@
+package hw
+
+import "testing"
+
+func TestPresetsMatchPaperNumbers(t *testing.T) {
+	tesla := TeslaS2050()
+	if tesla.PeakSPFlops != 1.03e12 || tesla.MemBandwidth != 148e9 {
+		t.Fatalf("Tesla spec drifted: %+v", tesla)
+	}
+	if tesla.MemBytes != 2620<<20 {
+		t.Fatalf("Tesla memory = %d, want the paper's 2.62 GB", tesla.MemBytes)
+	}
+	gtx := GTX480()
+	if gtx.PeakSPFlops != 1.35e12 || gtx.MemBandwidth != 177.4e9 || gtx.MemBytes != 1500<<20 {
+		t.Fatalf("GTX480 spec drifted: %+v", gtx)
+	}
+	net := QDRInfiniband()
+	if net.Bandwidth != 1e9 {
+		t.Fatalf("network = %v B/s, want the paper's 8 Gbit/s", net.Bandwidth)
+	}
+}
+
+func TestEffectiveFlopsDerates(t *testing.T) {
+	g := GPUSpec{PeakSPFlops: 1e12, KernelEfficiency: 0.5}
+	if g.EffectiveFlops() != 5e11 {
+		t.Fatalf("EffectiveFlops = %v", g.EffectiveFlops())
+	}
+}
+
+func TestMultiGPUSystem(t *testing.T) {
+	for gpus := 1; gpus <= 4; gpus++ {
+		c := MultiGPUSystem(gpus)
+		if len(c.Nodes) != 1 || len(c.Nodes[0].GPUs) != gpus {
+			t.Fatalf("MultiGPUSystem(%d) = %+v", gpus, c)
+		}
+		if c.TotalGPUs() != gpus {
+			t.Fatalf("TotalGPUs = %d", c.TotalGPUs())
+		}
+		if c.Nodes[0].CPUCores != 8 {
+			t.Fatalf("cores = %d, want the paper's two quad-core Xeons", c.Nodes[0].CPUCores)
+		}
+	}
+	mustPanic(t, func() { MultiGPUNode(0) })
+	mustPanic(t, func() { MultiGPUNode(5) })
+}
+
+func TestGPUCluster(t *testing.T) {
+	c := GPUCluster(8)
+	if len(c.Nodes) != 8 || c.TotalGPUs() != 8 {
+		t.Fatalf("cluster = %+v", c)
+	}
+	for _, n := range c.Nodes {
+		if len(n.GPUs) != 1 || n.GPUs[0].Name != "GTX 480" {
+			t.Fatalf("node = %+v", n)
+		}
+	}
+	mustPanic(t, func() { GPUCluster(0) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

@@ -1,0 +1,21 @@
+package kernels
+
+import "unsafe"
+
+// f32 reinterprets a byte buffer as float32s without copying. Backing
+// buffers are always allocated by memspace with adequate size; a short or
+// nil buffer (cost-only mode) returns nil.
+func f32(b []byte) []float32 {
+	if len(b) < 4 {
+		return nil
+	}
+	return unsafe.Slice((*float32)(unsafe.Pointer(&b[0])), len(b)/4)
+}
+
+// f64 reinterprets a byte buffer as float64s without copying.
+func f64(b []byte) []float64 {
+	if len(b) < 8 {
+		return nil
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), len(b)/8)
+}

@@ -1,0 +1,141 @@
+// Package memspace defines the logical memory vocabulary shared by the
+// runtime: program regions (the units named by dependence and copy
+// clauses), locations (host or GPU address spaces), and optional backing
+// stores holding real bytes for validation runs.
+//
+// Following the paper (Section II.A.3), dependence regions may not
+// partially overlap: a region is identified by its exact (address, size)
+// pair, and two regions either coincide or are disjoint.
+package memspace
+
+import "fmt"
+
+// Region names a contiguous piece of program data.
+type Region struct {
+	Addr uint64
+	Size uint64
+}
+
+// Valid reports whether the region has a nonzero size.
+func (r Region) Valid() bool { return r.Size > 0 }
+
+// End returns the first address past the region.
+func (r Region) End() uint64 { return r.Addr + r.Size }
+
+// Overlaps reports whether r and s share any byte.
+func (r Region) Overlaps(s Region) bool {
+	return r.Addr < s.End() && s.Addr < r.End()
+}
+
+func (r Region) String() string { return fmt.Sprintf("[%#x,+%d)", r.Addr, r.Size) }
+
+// HostDev is the device index denoting a node's host memory.
+const HostDev = -1
+
+// Location identifies an address space in the machine: the host memory of a
+// node (Dev == HostDev) or GPU Dev of a node.
+type Location struct {
+	Node int
+	Dev  int
+}
+
+// Host returns the host location of node n.
+func Host(n int) Location { return Location{Node: n, Dev: HostDev} }
+
+// GPU returns the location of GPU d on node n.
+func GPU(n, d int) Location { return Location{Node: n, Dev: d} }
+
+// IsHost reports whether l is a host memory.
+func (l Location) IsHost() bool { return l.Dev == HostDev }
+
+func (l Location) String() string {
+	if l.IsHost() {
+		return fmt.Sprintf("node%d:host", l.Node)
+	}
+	return fmt.Sprintf("node%d:gpu%d", l.Node, l.Dev)
+}
+
+// Allocator hands out logical program addresses. Addresses are never
+// recycled; the logical address space is virtual and unbounded.
+type Allocator struct {
+	next uint64
+}
+
+// NewAllocator returns an allocator starting at a nonzero base so that
+// address 0 can mean "no region".
+func NewAllocator() *Allocator { return &Allocator{next: 1 << 12} }
+
+// Alloc reserves size bytes aligned to align (power of two; 0 means 64).
+func (a *Allocator) Alloc(size uint64, align uint64) Region {
+	if size == 0 {
+		panic("memspace: zero-size allocation")
+	}
+	if align == 0 {
+		align = 64
+	}
+	if align&(align-1) != 0 {
+		panic("memspace: alignment must be a power of two")
+	}
+	addr := (a.next + align - 1) &^ (align - 1)
+	a.next = addr + size
+	return Region{Addr: addr, Size: size}
+}
+
+// Store holds real bytes for one address space, keyed by region address.
+// Stores exist only in validation mode; cost-only simulations pass nil
+// stores around and every method of a nil Store is a no-op.
+type Store struct {
+	loc  Location
+	data map[uint64][]byte
+}
+
+// NewStore returns an empty backing store for location loc.
+func NewStore(loc Location) *Store {
+	return &Store{loc: loc, data: make(map[uint64][]byte)}
+}
+
+// Location returns the address space this store backs.
+func (s *Store) Location() Location { return s.loc }
+
+// Bytes returns the buffer backing region r, allocating it zeroed on first
+// use. Returns nil on a nil store.
+func (s *Store) Bytes(r Region) []byte {
+	if s == nil {
+		return nil
+	}
+	b, ok := s.data[r.Addr]
+	if !ok {
+		b = make([]byte, r.Size)
+		s.data[r.Addr] = b
+	}
+	if uint64(len(b)) != r.Size {
+		panic(fmt.Sprintf("memspace: region %v size mismatch with existing buffer of %d bytes", r, len(b)))
+	}
+	return b
+}
+
+// Has reports whether the store holds a buffer for r.
+func (s *Store) Has(r Region) bool {
+	if s == nil {
+		return false
+	}
+	_, ok := s.data[r.Addr]
+	return ok
+}
+
+// Drop releases the buffer for r, if present.
+func (s *Store) Drop(r Region) {
+	if s == nil {
+		return
+	}
+	delete(s.data, r.Addr)
+}
+
+// CopyRegion copies the bytes of region r from src to dst. A nil store on
+// either side makes this a no-op (cost-only mode).
+func CopyRegion(dst, src *Store, r Region) {
+	if dst == nil || src == nil {
+		return
+	}
+	copy(dst.Bytes(r), src.Bytes(r))
+}

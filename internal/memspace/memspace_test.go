@@ -1,0 +1,122 @@
+package memspace
+
+import "testing"
+
+func TestRegionOverlaps(t *testing.T) {
+	cases := []struct {
+		a, b Region
+		want bool
+	}{
+		{Region{0, 10}, Region{10, 5}, false},
+		{Region{0, 10}, Region{9, 5}, true},
+		{Region{100, 50}, Region{100, 50}, true},
+		{Region{100, 50}, Region{120, 4}, true},
+		{Region{0, 1}, Region{1, 1}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Overlaps(c.b); got != c.want {
+			t.Errorf("%v overlaps %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Overlaps(c.a); got != c.want {
+			t.Errorf("overlap not symmetric for %v, %v", c.a, c.b)
+		}
+	}
+}
+
+func TestAllocatorAlignmentAndDisjointness(t *testing.T) {
+	a := NewAllocator()
+	var prev Region
+	for i := 0; i < 100; i++ {
+		r := a.Alloc(uint64(i%7+1)*13, 0)
+		if r.Addr%64 != 0 {
+			t.Fatalf("allocation %v not 64-aligned", r)
+		}
+		if prev.Valid() && r.Overlaps(prev) {
+			t.Fatalf("allocation %v overlaps previous %v", r, prev)
+		}
+		prev = r
+	}
+	r := a.Alloc(10, 4096)
+	if r.Addr%4096 != 0 {
+		t.Fatalf("allocation %v not 4096-aligned", r)
+	}
+}
+
+func TestAllocatorPanics(t *testing.T) {
+	a := NewAllocator()
+	mustPanic(t, func() { a.Alloc(0, 0) })
+	mustPanic(t, func() { a.Alloc(8, 3) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s := NewStore(Host(0))
+	r := Region{Addr: 0x1000, Size: 8}
+	b := s.Bytes(r)
+	if len(b) != 8 {
+		t.Fatalf("len = %d", len(b))
+	}
+	b[0] = 42
+	if got := s.Bytes(r)[0]; got != 42 {
+		t.Fatalf("bytes not persistent, got %d", got)
+	}
+	if !s.Has(r) {
+		t.Fatal("Has should be true after Bytes")
+	}
+	s.Drop(r)
+	if s.Has(r) {
+		t.Fatal("Has should be false after Drop")
+	}
+	if got := s.Bytes(r)[0]; got != 0 {
+		t.Fatal("dropped region should come back zeroed")
+	}
+}
+
+func TestStoreSizeMismatchPanics(t *testing.T) {
+	s := NewStore(Host(0))
+	s.Bytes(Region{Addr: 0x2000, Size: 8})
+	mustPanic(t, func() { s.Bytes(Region{Addr: 0x2000, Size: 16}) })
+}
+
+func TestCopyRegionAndNilStores(t *testing.T) {
+	src := NewStore(Host(0))
+	dst := NewStore(GPU(0, 1))
+	r := Region{Addr: 0x3000, Size: 4}
+	copy(src.Bytes(r), []byte{1, 2, 3, 4})
+	CopyRegion(dst, src, r)
+	if got := dst.Bytes(r)[2]; got != 3 {
+		t.Fatalf("copy failed, got %d", got)
+	}
+	// Nil stores are no-ops everywhere.
+	var nilStore *Store
+	CopyRegion(nilStore, src, r)
+	CopyRegion(dst, nilStore, r)
+	if nilStore.Bytes(r) != nil {
+		t.Fatal("nil store Bytes should be nil")
+	}
+	if nilStore.Has(r) {
+		t.Fatal("nil store Has should be false")
+	}
+	nilStore.Drop(r) // must not panic
+}
+
+func TestLocationString(t *testing.T) {
+	if got := Host(2).String(); got != "node2:host" {
+		t.Fatalf("got %q", got)
+	}
+	if got := GPU(1, 3).String(); got != "node1:gpu3" {
+		t.Fatalf("got %q", got)
+	}
+	if !Host(0).IsHost() || GPU(0, 0).IsHost() {
+		t.Fatal("IsHost misclassifies")
+	}
+}

@@ -1,0 +1,26 @@
+package mercurium
+
+import "unsafe"
+
+// f64view reinterprets backing bytes as float64s (test helper).
+func f64view(b []byte) []float64 {
+	if len(b) < 8 {
+		return nil
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+// f32view reinterprets backing bytes as float32s (test helper).
+func f32view(b []byte) []float32 {
+	if len(b) < 4 {
+		return nil
+	}
+	return unsafe.Slice((*float32)(unsafe.Pointer(&b[0])), len(b)/4)
+}
+
+func fillF32(b []byte, v float32) {
+	f := f32view(b)
+	for i := range f {
+		f[i] = v
+	}
+}

@@ -1,0 +1,141 @@
+// Package netsim models the cluster interconnect: every node has a network
+// interface with independent transmit and receive sides; a message occupies
+// the sender's TX and the receiver's RX for its serialization time
+// (size/bandwidth) and is delivered one latency later. This captures the
+// three contention effects the paper's cluster results hinge on: a master
+// saturating its TX when it sources all data (Fig 9 "seq" init), incast on
+// one receiver, and the relief from slave-to-slave transfers.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/bsc-repro/ompss/internal/hw"
+	"github.com/bsc-repro/ompss/internal/memspace"
+	"github.com/bsc-repro/ompss/internal/sim"
+)
+
+// Message is one unit of delivery. Payload is opaque to the fabric.
+type Message struct {
+	From    int
+	To      int
+	Size    uint64
+	Payload interface{}
+}
+
+// IfaceStats counts per-node interface activity.
+type IfaceStats struct {
+	MsgsSent      int
+	MsgsReceived  int
+	BytesSent     uint64
+	BytesReceived uint64
+	TxBusy        sim.Time
+}
+
+// Iface is one node's network interface.
+type Iface struct {
+	node  int
+	tx    *sim.Resource
+	rx    *sim.Resource
+	inbox *sim.Queue[Message]
+	stats IfaceStats
+}
+
+// Inbox returns the queue of delivered messages for this node.
+func (ifc *Iface) Inbox() *sim.Queue[Message] { return ifc.inbox }
+
+// Stats returns a snapshot of interface counters.
+func (ifc *Iface) Stats() IfaceStats { return ifc.stats }
+
+// Fabric connects a set of node interfaces.
+type Fabric struct {
+	e      *sim.Engine
+	spec   hw.NetSpec
+	ifaces []*Iface
+}
+
+// New returns a fabric with n node interfaces.
+func New(e *sim.Engine, spec hw.NetSpec, n int) *Fabric {
+	f := &Fabric{e: e, spec: spec}
+	for i := 0; i < n; i++ {
+		f.ifaces = append(f.ifaces, &Iface{
+			node:  i,
+			tx:    sim.NewResource(e, fmt.Sprintf("node%d:tx", i), 1),
+			rx:    sim.NewResource(e, fmt.Sprintf("node%d:rx", i), 1),
+			inbox: sim.NewQueue[Message](e),
+		})
+	}
+	return f
+}
+
+// Nodes returns the number of interfaces.
+func (f *Fabric) Nodes() int { return len(f.ifaces) }
+
+// Iface returns node i's interface.
+func (f *Fabric) Iface(i int) *Iface { return f.ifaces[i] }
+
+// Spec returns the interconnect description.
+func (f *Fabric) Spec() hw.NetSpec { return f.spec }
+
+// SerializationTime returns size/bandwidth as a duration.
+func (f *Fabric) SerializationTime(size uint64) time.Duration {
+	return time.Duration(float64(size) / f.spec.Bandwidth * 1e9)
+}
+
+// Send transmits msg, blocking the calling process for the sender-side cost
+// (per-message overhead plus serialization, including any queueing on the
+// two interfaces). Delivery into the destination inbox happens one wire
+// latency after serialization completes. Loopback (From == To) is delivered
+// immediately with no interface occupancy.
+func (f *Fabric) Send(p *sim.Proc, msg Message) {
+	if msg.From < 0 || msg.From >= len(f.ifaces) || msg.To < 0 || msg.To >= len(f.ifaces) {
+		panic(fmt.Sprintf("netsim: bad endpoints %d->%d", msg.From, msg.To))
+	}
+	src := f.ifaces[msg.From]
+	dst := f.ifaces[msg.To]
+	if msg.From == msg.To {
+		src.stats.MsgsSent++
+		src.stats.BytesSent += msg.Size
+		dst.stats.MsgsReceived++
+		dst.stats.BytesReceived += msg.Size
+		dst.inbox.Put(msg)
+		return
+	}
+	p.Sleep(f.spec.PerMessageOverhead)
+	ser := f.SerializationTime(msg.Size)
+	// The transfer occupies sender TX and receiver RX for the serialization
+	// interval. TX is always acquired before RX, so the wait graph is
+	// acyclic and the pairwise acquisition cannot deadlock.
+	src.tx.Acquire(p)
+	dst.rx.Acquire(p)
+	p.Sleep(ser)
+	src.tx.Release()
+	dst.rx.Release()
+	src.stats.TxBusy += sim.Time(ser)
+	src.stats.MsgsSent++
+	src.stats.BytesSent += msg.Size
+	f.e.After(f.spec.Latency, func() {
+		dst.stats.MsgsReceived++
+		dst.stats.BytesReceived += msg.Size
+		dst.inbox.Put(msg)
+	})
+}
+
+// SendAsync transmits msg from a spawned process, returning an event that
+// triggers when the message has been delivered to the destination inbox.
+func (f *Fabric) SendAsync(msg Message) *sim.Event {
+	done := sim.NewEvent(f.e)
+	f.e.Go(fmt.Sprintf("net:%d->%d", msg.From, msg.To), func(p *sim.Proc) {
+		f.Send(p, msg)
+		p.Sleep(f.spec.Latency) // Send returns at serialization end; wait for delivery
+		done.Trigger()
+	})
+	return done
+}
+
+// CopyBytes copies region r between two host stores, used by data-bearing
+// messages in validation mode. Either store may be nil.
+func CopyBytes(dst, src *memspace.Store, r memspace.Region) {
+	memspace.CopyRegion(dst, src, r)
+}

@@ -1,0 +1,253 @@
+// Package sched implements the three task scheduling policies evaluated in
+// the paper (Section III.C.2):
+//
+//   - breadth-first: a single FIFO ready queue;
+//   - dependencies: breadth-first, except that a thread finishing a task
+//     first tries to run one of the successors that task released, since
+//     they share data (the runtime's default policy);
+//   - locality-aware ("affinity"): each ready task is scored against every
+//     execution place from the sizes and placement of its data; it queues
+//     at the place with the highest affinity, or in a global queue when no
+//     place dominates. Idle places take from their local queue, then the
+//     global queue, then steal from other places to fix load imbalance.
+//
+// Places are dense integer ids; the runtime decides what a place is (a GPU
+// manager thread, the CPU worker pool, or a remote cluster node). Because
+// the runtime is heterogeneous, every pop is filtered by a compatibility
+// predicate (an SMP-only place never receives a CUDA task).
+package sched
+
+import (
+	"fmt"
+
+	"github.com/bsc-repro/ompss/internal/task"
+)
+
+// Policy selects a scheduling strategy.
+type Policy string
+
+const (
+	// BreadthFirst is simple FIFO scheduling ("bf" in the paper's charts).
+	BreadthFirst Policy = "bf"
+	// Dependencies is FIFO plus run-a-successor-first ("default").
+	Dependencies Policy = "dependencies"
+	// Affinity is the locality-aware policy ("affinity").
+	Affinity Policy = "affinity"
+)
+
+// ScoreFn returns, for each place id, the affinity score of t: the total
+// bytes of t's data already resident at that place, so that big data
+// dominates the placement. Supplied by the coherence layer. Incompatible
+// places must score zero.
+type ScoreFn func(t *task.Task) []uint64
+
+// CanRunFn reports whether a place can execute a task (device match).
+type CanRunFn func(place int, t *task.Task) bool
+
+// Scheduler is a ready-task pool.
+type Scheduler interface {
+	// Submit adds a ready task. releasedBy is the place whose finishing
+	// task released this one, or -1 when it became ready at submit time.
+	Submit(t *task.Task, releasedBy int)
+	// Pop removes and returns a task the given place can run, or nil.
+	Pop(place int) *task.Task
+	// Len returns the number of queued tasks.
+	Len() int
+}
+
+// New builds a scheduler with the given policy over places execution
+// places. score is required by the Affinity policy and ignored otherwise;
+// steal enables work stealing between affinity queues; canRun filters
+// task-place compatibility (nil means any place runs any task).
+func New(policy Policy, places int, score ScoreFn, steal bool, canRun CanRunFn) Scheduler {
+	if canRun == nil {
+		canRun = func(int, *task.Task) bool { return true }
+	}
+	switch policy {
+	case BreadthFirst:
+		return &bfSched{canRun: canRun}
+	case Dependencies:
+		return &depSched{canRun: canRun, perPlace: make(map[int][]*entry)}
+	case Affinity:
+		if score == nil {
+			panic("sched: Affinity policy requires a ScoreFn")
+		}
+		return &affSched{places: places, score: score, steal: steal, canRun: canRun,
+			local: make([][]*entry, places)}
+	default:
+		panic(fmt.Sprintf("sched: unknown policy %q", policy))
+	}
+}
+
+// entry wraps a task so it can sit in several queues; the first Pop that
+// reaches it takes it.
+type entry struct {
+	t     *task.Task
+	taken bool
+}
+
+// popFront takes the oldest live entry satisfying pred, compacting consumed
+// entries from the front as a side effect.
+func popFront(q *[]*entry, pred func(*task.Task) bool) *task.Task {
+	// Drop already-taken entries from the head.
+	for len(*q) > 0 && (*q)[0].taken {
+		*q = (*q)[1:]
+	}
+	for i := 0; i < len(*q); i++ {
+		e := (*q)[i]
+		if e.taken || !pred(e.t) {
+			continue
+		}
+		e.taken = true
+		return e.t
+	}
+	return nil
+}
+
+// popBack takes the newest live entry satisfying pred.
+func popBack(q *[]*entry, pred func(*task.Task) bool) *task.Task {
+	for len(*q) > 0 && (*q)[len(*q)-1].taken {
+		*q = (*q)[:len(*q)-1]
+	}
+	for i := len(*q) - 1; i >= 0; i-- {
+		e := (*q)[i]
+		if e.taken || !pred(e.t) {
+			continue
+		}
+		e.taken = true
+		return e.t
+	}
+	return nil
+}
+
+func liveLen(q []*entry) int {
+	n := 0
+	for _, e := range q {
+		if !e.taken {
+			n++
+		}
+	}
+	return n
+}
+
+// bfSched: plain FIFO.
+type bfSched struct {
+	canRun CanRunFn
+	fifo   []*entry
+}
+
+func (s *bfSched) Submit(t *task.Task, releasedBy int) {
+	s.fifo = append(s.fifo, &entry{t: t})
+}
+
+func (s *bfSched) Pop(place int) *task.Task {
+	return popFront(&s.fifo, func(t *task.Task) bool { return s.canRun(place, t) })
+}
+
+func (s *bfSched) Len() int { return liveLen(s.fifo) }
+
+// depSched: FIFO plus per-place successor lists.
+type depSched struct {
+	canRun   CanRunFn
+	fifo     []*entry
+	perPlace map[int][]*entry
+}
+
+func (s *depSched) Submit(t *task.Task, releasedBy int) {
+	e := &entry{t: t}
+	s.fifo = append(s.fifo, e)
+	if releasedBy >= 0 {
+		// The place that released this successor should pick it up next, to
+		// reuse the data the predecessor just produced.
+		s.perPlace[releasedBy] = append(s.perPlace[releasedBy], e)
+	}
+}
+
+func (s *depSched) Pop(place int) *task.Task {
+	pred := func(t *task.Task) bool { return s.canRun(place, t) }
+	q := s.perPlace[place]
+	t := popBack(&q, pred) // most recently released first
+	s.perPlace[place] = q
+	if t != nil {
+		return t
+	}
+	return popFront(&s.fifo, pred)
+}
+
+func (s *depSched) Len() int { return liveLen(s.fifo) }
+
+// affSched: per-place queues + global queue + stealing.
+type affSched struct {
+	places int
+	score  ScoreFn
+	steal  bool
+	canRun CanRunFn
+	local  [][]*entry
+	global []*entry
+}
+
+// bestPlace returns the place with the strictly highest score, or -1 when
+// no single place dominates (all-zero or tied maxima) — such tasks go to
+// the global queue, as in Martinell's strategy the paper adopts.
+func bestPlace(scores []uint64) int {
+	best, bestAt, ties := uint64(0), -1, 0
+	for i, s := range scores {
+		switch {
+		case s > best:
+			best, bestAt, ties = s, i, 1
+		case s == best && s > 0:
+			ties++
+		}
+	}
+	if best == 0 || ties > 1 {
+		return -1
+	}
+	return bestAt
+}
+
+func (s *affSched) Submit(t *task.Task, releasedBy int) {
+	e := &entry{t: t}
+	if p := bestPlace(s.score(t)); p >= 0 && p < s.places && s.canRun(p, t) {
+		s.local[p] = append(s.local[p], e)
+		return
+	}
+	s.global = append(s.global, e)
+}
+
+func (s *affSched) Pop(place int) *task.Task {
+	pred := func(t *task.Task) bool { return s.canRun(place, t) }
+	if place >= 0 && place < s.places {
+		if t := popFront(&s.local[place], pred); t != nil {
+			return t
+		}
+	}
+	if t := popFront(&s.global, pred); t != nil {
+		return t
+	}
+	if !s.steal {
+		return nil
+	}
+	// Steal from the place with the most queued work (lowest id on ties),
+	// taking the newest entry to preserve the victim's own locality order.
+	victim, max := -1, 0
+	for i := range s.local {
+		if i == place {
+			continue
+		}
+		if n := liveLen(s.local[i]); n > max {
+			victim, max = i, n
+		}
+	}
+	if victim < 0 {
+		return nil
+	}
+	return popBack(&s.local[victim], pred)
+}
+
+func (s *affSched) Len() int {
+	n := liveLen(s.global)
+	for _, q := range s.local {
+		n += liveLen(q)
+	}
+	return n
+}

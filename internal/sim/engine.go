@@ -1,0 +1,227 @@
+// Package sim implements a deterministic, process-oriented discrete-event
+// simulation engine. Every component of the reproduced system — CPU worker
+// threads, GPU engines, DMA channels, network links, runtime services — runs
+// as a sim process on a shared virtual clock.
+//
+// Determinism contract: exactly one process executes at any instant. A
+// process runs until it blocks (Sleep, Event.Wait, Queue.Get, ...); only
+// then does the engine pop the next event. Events with equal timestamps fire
+// in the order they were scheduled. Given identical inputs, a simulation
+// therefore produces bit-identical traces on every run.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration re-exports time.Duration for readability in simulation code.
+type Duration = time.Duration
+
+// String formats the virtual time as a duration since simulation start.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Seconds returns the virtual time as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+type event struct {
+	at   Time
+	seq  uint64
+	bare bool // true: fn completes synchronously; false: fn hands off to a process
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is the simulation kernel. Create one with NewEngine, spawn the root
+// process(es) with Go, then call Run.
+type Engine struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	running int // processes (or the engine itself) currently executing
+
+	blocked map[*Proc]string // blocked process -> reason, for deadlock reports
+	procSeq int
+
+	stopped bool
+	stopErr error
+}
+
+// NewEngine returns an empty engine at virtual time zero.
+func NewEngine() *Engine {
+	e := &Engine{blocked: make(map[*Proc]string)}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+// Now returns the current virtual time. It is safe to call from any process.
+func (e *Engine) Now() Time {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.now
+}
+
+// scheduleLocked enqueues fn to run at time at. Caller must hold e.mu.
+func (e *Engine) scheduleLocked(at Time, bare bool, fn func()) *event {
+	ev := &event{at: at, seq: e.seq, bare: bare, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Go spawns a new process that will begin executing fn at the current
+// virtual time, after the spawning process next blocks. The name is used in
+// deadlock reports and traces.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.goLocked(name, 0, fn)
+}
+
+// GoAfter spawns a process that begins executing fn after delay d.
+func (e *Engine) GoAfter(name string, d Duration, fn func(p *Proc)) *Proc {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.goLocked(name, d, fn)
+}
+
+func (e *Engine) goLocked(name string, d Duration, fn func(p *Proc)) *Proc {
+	e.procSeq++
+	p := &Proc{e: e, name: name, id: e.procSeq, wake: make(chan struct{}, 1)}
+	e.scheduleLocked(e.now+Time(d), false, func() {
+		// Runs on the engine goroutine with running already incremented;
+		// hand execution to the new process goroutine, which owns the
+		// running count until it blocks or exits.
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					// A panicking process aborts the whole simulation: Run
+					// returns the panic as an error instead of crashing the
+					// host program (user mistakes — an oversized working
+					// set, a missing combiner — surface as errors).
+					e.Stop(&ProcPanicError{Proc: p.name, Value: r, Stack: debug.Stack()})
+				}
+				p.done = true
+				if p.onExit != nil {
+					p.onExit.Trigger()
+				}
+				e.mu.Lock()
+				e.running--
+				e.cond.Signal()
+				e.mu.Unlock()
+			}()
+			fn(p)
+		}()
+	})
+	return p
+}
+
+// After schedules a bare callback (not a process) at now+d. The callback
+// runs on the engine goroutine and must not block; it may schedule further
+// events, trigger Events, or push to Queues.
+func (e *Engine) After(d Duration, fn func()) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.scheduleLocked(e.now+Time(d), true, fn)
+}
+
+// Stop aborts the simulation: Run returns err once all currently runnable
+// work drains. Pending events are discarded.
+func (e *Engine) Stop(err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stopped = true
+	e.stopErr = err
+}
+
+// ProcPanicError reports that a simulation process panicked; Run returns
+// it after stopping the simulation.
+type ProcPanicError struct {
+	Proc  string
+	Value interface{}
+	Stack []byte
+}
+
+func (p *ProcPanicError) Error() string {
+	return fmt.Sprintf("sim: process %s panicked: %v\n%s", p.Proc, p.Value, p.Stack)
+}
+
+// DeadlockError reports that processes remain blocked with no pending events.
+type DeadlockError struct {
+	Now     Time
+	Blocked []string // "procName#id: reason" for each blocked process
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at t=%v: %d blocked process(es): %v", d.Now, len(d.Blocked), d.Blocked)
+}
+
+// Run drives the simulation until the event queue drains and no process is
+// runnable. It returns a *DeadlockError if processes remain blocked at the
+// end, or the error passed to Stop.
+func (e *Engine) Run() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		for e.running > 0 {
+			e.cond.Wait()
+		}
+		if e.stopped {
+			return e.stopErr
+		}
+		if e.queue.Len() == 0 {
+			break
+		}
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.fn == nil { // cancelled
+			continue
+		}
+		e.now = ev.at
+		e.running++
+		fn := ev.fn
+		bare := ev.bare
+		e.mu.Unlock()
+		fn()
+		e.mu.Lock()
+		if bare {
+			e.running--
+		}
+	}
+	if len(e.blocked) > 0 {
+		var names []string
+		for p, reason := range e.blocked {
+			names = append(names, fmt.Sprintf("%s#%d: %s", p.name, p.id, reason))
+		}
+		sort.Strings(names)
+		return &DeadlockError{Now: e.now, Blocked: names}
+	}
+	return nil
+}

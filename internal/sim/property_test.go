@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property: a Resource never has more than capacity units in use, and
+// always drains completely, for any pattern of concurrent timed uses.
+func TestQuickResourceCapacityInvariant(t *testing.T) {
+	f := func(durs []uint8, capSeed uint8) bool {
+		if len(durs) == 0 {
+			return true
+		}
+		if len(durs) > 30 {
+			durs = durs[:30]
+		}
+		capacity := int(capSeed%4) + 1
+		e := NewEngine()
+		r := NewResource(e, "res", capacity)
+		violated := false
+		for _, d := range durs {
+			d := time.Duration(d%20+1) * time.Millisecond
+			e.Go("user", func(p *Proc) {
+				r.Acquire(p)
+				if r.InUse() > capacity {
+					violated = true
+				}
+				p.Sleep(d)
+				r.Release()
+			})
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return !violated && r.InUse() == 0 && r.QueueLen() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a Queue delivers every item exactly once and in insertion
+// order, regardless of how producers interleave in virtual time.
+func TestQuickQueueDeliversAllInOrder(t *testing.T) {
+	f := func(delays []uint8) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		if len(delays) > 25 {
+			delays = delays[:25]
+		}
+		e := NewEngine()
+		q := NewQueue[int](e)
+		// One producer enqueues sequence numbers at varying times.
+		e.Go("prod", func(p *Proc) {
+			for i, d := range delays {
+				p.Sleep(time.Duration(d%5) * time.Millisecond)
+				q.Put(i)
+			}
+			q.Close()
+		})
+		var got []int
+		e.Go("cons", func(p *Proc) {
+			for {
+				v, ok := q.Get(p)
+				if !ok {
+					return
+				}
+				got = append(got, v)
+			}
+		})
+		if err := e.Run(); err != nil {
+			return false
+		}
+		if len(got) != len(delays) {
+			return false
+		}
+		for i, v := range got {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: virtual time never goes backwards as observed by any process.
+func TestQuickTimeMonotonic(t *testing.T) {
+	f := func(steps []uint8) bool {
+		if len(steps) > 40 {
+			steps = steps[:40]
+		}
+		e := NewEngine()
+		ok := true
+		for _, s := range steps {
+			s := s
+			e.Go("p", func(p *Proc) {
+				last := p.Now()
+				for i := 0; i < 3; i++ {
+					p.Sleep(time.Duration(s%7) * time.Millisecond)
+					if p.Now() < last {
+						ok = false
+					}
+					last = p.Now()
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

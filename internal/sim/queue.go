@@ -1,0 +1,102 @@
+package sim
+
+// Queue is an unbounded FIFO of items passed between processes in virtual
+// time. Put never blocks; Get blocks the caller until an item is available.
+// Items are delivered in insertion order; blocked getters are served in
+// arrival order.
+type Queue[T any] struct {
+	e       *Engine
+	items   []T
+	waiters []*waiterSlot[T]
+	closed  bool
+}
+
+type waiterSlot[T any] struct {
+	p     *Proc
+	item  T
+	ok    bool
+	valid bool // item has been deposited
+}
+
+// NewQueue returns an empty queue on engine e.
+func NewQueue[T any](e *Engine) *Queue[T] { return &Queue[T]{e: e} }
+
+// Len returns the number of queued (undelivered) items.
+func (q *Queue[T]) Len() int {
+	q.e.mu.Lock()
+	defer q.e.mu.Unlock()
+	return len(q.items)
+}
+
+// Put appends v to the queue, waking the oldest blocked getter if any.
+// Safe to call from processes or bare callbacks. Panics if the queue is
+// closed.
+func (q *Queue[T]) Put(v T) {
+	q.e.mu.Lock()
+	defer q.e.mu.Unlock()
+	if q.closed {
+		panic("sim: Put on closed Queue")
+	}
+	if len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		w.item, w.ok, w.valid = v, true, true
+		w.p.resumeEventLocked(q.e.now)
+		return
+	}
+	q.items = append(q.items, v)
+}
+
+// Close marks the queue closed: queued items are still delivered, then
+// subsequent Gets return ok=false. Blocked getters wake immediately with
+// ok=false.
+func (q *Queue[T]) Close() {
+	q.e.mu.Lock()
+	defer q.e.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	for _, w := range q.waiters {
+		w.valid = true
+		w.p.resumeEventLocked(q.e.now)
+	}
+	q.waiters = nil
+}
+
+// Get removes and returns the oldest item, blocking the calling process if
+// the queue is empty. ok is false if the queue was closed and drained.
+func (q *Queue[T]) Get(p *Proc) (v T, ok bool) {
+	q.e.mu.Lock()
+	if len(q.items) > 0 {
+		v = q.items[0]
+		var zero T
+		q.items[0] = zero
+		q.items = q.items[1:]
+		q.e.mu.Unlock()
+		return v, true
+	}
+	if q.closed {
+		q.e.mu.Unlock()
+		return v, false
+	}
+	w := &waiterSlot[T]{p: p}
+	q.waiters = append(q.waiters, w)
+	q.e.mu.Unlock()
+	p.block("queue get")
+	return w.item, w.ok
+}
+
+// TryGet removes and returns the oldest item without blocking.
+func (q *Queue[T]) TryGet() (v T, ok bool) {
+	q.e.mu.Lock()
+	defer q.e.mu.Unlock()
+	if len(q.items) == 0 {
+		return v, false
+	}
+	v = q.items[0]
+	var zero T
+	q.items[0] = zero
+	q.items = q.items[1:]
+	return v, true
+}

@@ -1,0 +1,91 @@
+package sim
+
+// Resource models a capacity-limited facility (a DMA engine, a link
+// direction, an execution engine) with FIFO admission. A process acquires a
+// unit, holds it for some virtual time, and releases it.
+type Resource struct {
+	e        *Engine
+	name     string
+	capacity int
+	inUse    int
+	waiters  []*Proc
+
+	busy Time // accumulated unit-busy time, for utilization stats
+}
+
+// NewResource returns a resource with the given capacity (>= 1).
+func NewResource(e *Engine, name string, capacity int) *Resource {
+	if capacity < 1 {
+		panic("sim: Resource capacity must be >= 1")
+	}
+	return &Resource{e: e, name: name, capacity: capacity}
+}
+
+// Acquire obtains one unit, blocking FIFO behind earlier requesters while
+// the resource is saturated.
+func (r *Resource) Acquire(p *Proc) {
+	r.e.mu.Lock()
+	if r.inUse < r.capacity && len(r.waiters) == 0 {
+		r.inUse++
+		r.e.mu.Unlock()
+		return
+	}
+	r.waiters = append(r.waiters, p)
+	r.e.mu.Unlock()
+	p.block("resource " + r.name)
+}
+
+// Release returns one unit, waking the oldest waiter if any.
+func (r *Resource) Release() {
+	r.e.mu.Lock()
+	defer r.e.mu.Unlock()
+	if r.inUse <= 0 {
+		panic("sim: Release of idle resource " + r.name)
+	}
+	if len(r.waiters) > 0 {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		// Unit passes directly to the waiter; inUse unchanged.
+		w.resumeEventLocked(r.e.now)
+		return
+	}
+	r.inUse--
+}
+
+// Use acquires a unit, holds it for d, then releases it. This is the common
+// pattern for modeling a timed service (e.g. a DMA transfer occupying an
+// engine for bytes/bandwidth seconds).
+func (r *Resource) Use(p *Proc, d Duration) {
+	r.Acquire(p)
+	r.addBusy(d)
+	p.Sleep(d)
+	r.Release()
+}
+
+func (r *Resource) addBusy(d Duration) {
+	r.e.mu.Lock()
+	r.busy += Time(d)
+	r.e.mu.Unlock()
+}
+
+// BusyTime returns accumulated unit-busy virtual time (service time summed
+// over units), usable for utilization = BusyTime / (capacity * elapsed).
+func (r *Resource) BusyTime() Time {
+	r.e.mu.Lock()
+	defer r.e.mu.Unlock()
+	return r.busy
+}
+
+// InUse returns the number of units currently held.
+func (r *Resource) InUse() int {
+	r.e.mu.Lock()
+	defer r.e.mu.Unlock()
+	return r.inUse
+}
+
+// QueueLen returns the number of processes waiting to acquire.
+func (r *Resource) QueueLen() int {
+	r.e.mu.Lock()
+	defer r.e.mu.Unlock()
+	return len(r.waiters)
+}

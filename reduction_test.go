@@ -1,0 +1,239 @@
+package ompss
+
+import (
+	"testing"
+	"time"
+
+	"github.com/bsc-repro/ompss/internal/core"
+	"github.com/bsc-repro/ompss/internal/hw"
+	"github.com/bsc-repro/ompss/internal/memspace"
+	"github.com/bsc-repro/ompss/internal/task"
+)
+
+// partialSum accumulates the sum of its input chunk into acc[0]
+// (a reduction body: it adds to whatever the accumulator holds).
+type partialSum struct {
+	in, acc Region
+	cost    time.Duration
+}
+
+func (w partialSum) Name() string                      { return "psum" }
+func (w partialSum) GPUCost(hw.GPUSpec) time.Duration  { return w.cost }
+func (w partialSum) CPUCost(hw.NodeSpec) time.Duration { return w.cost }
+func (w partialSum) Run(store *memspace.Store) {
+	if store == nil {
+		return
+	}
+	in := unsafeF32(store.Bytes(w.in))
+	acc := unsafeF32(store.Bytes(w.acc))
+	var s float32
+	for _, v := range in {
+		s += v
+	}
+	acc[0] += s
+}
+
+func TestReductionComputesCorrectSum(t *testing.T) {
+	const chunks = 8
+	const chunkElems = 1024
+	cfg := Config{Cluster: MultiGPUSystem(4), Validate: true}
+	rt := New(cfg)
+	var got float32
+	_, err := rt.Run(func(ctx *Context) {
+		acc := ctx.Alloc(16)
+		ctx.InitSeq(acc, func(b []byte) { unsafeF32(b)[0] = 100 }) // prior value folds in
+		var want float32 = 100
+		ins := make([]Region, chunks)
+		for i := range ins {
+			ins[i] = ctx.Alloc(chunkElems * 4)
+			val := float32(i + 1)
+			ctx.InitSeq(ins[i], func(b []byte) {
+				v := unsafeF32(b)
+				for j := range v {
+					v[j] = val
+				}
+			})
+			want += val * chunkElems
+		}
+		for i := range ins {
+			ctx.Task(partialSum{in: ins[i], acc: acc, cost: 5 * time.Millisecond},
+				Target(CUDA), In(ins[i]), Reduction(acc, SumFloat32))
+		}
+		ctx.TaskWait()
+		got = unsafeF32(ctx.HostBytes(acc))[0]
+		if got != want {
+			t.Errorf("sum = %v, want %v", got, want)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReductionTasksRunConcurrently(t *testing.T) {
+	// 8 x 10ms reduction tasks on 4 GPUs must take ~20ms, not 80ms: the
+	// whole point of the reduction clause is that they need no mutual
+	// ordering (inout would serialize them).
+	run := func(reduce bool) float64 {
+		cfg := Config{Cluster: MultiGPUSystem(4)}
+		rt := New(cfg)
+		stats, err := rt.Run(func(ctx *Context) {
+			acc := ctx.Alloc(16)
+			ctx.InitSeq(acc, nil)
+			for i := 0; i < 8; i++ {
+				in := ctx.Alloc(4096)
+				ctx.InitSeq(in, nil)
+				clause := Reduction(acc, SumFloat32)
+				if !reduce {
+					clause = InOut(acc)
+				}
+				ctx.Task(partialSum{in: in, acc: acc, cost: 10 * time.Millisecond},
+					Target(CUDA), In(in), clause)
+			}
+			ctx.TaskWaitNoflush()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.ElapsedSeconds
+	}
+	red := run(true)
+	serial := run(false)
+	if red > 0.045 {
+		t.Fatalf("reduction tasks took %.3fs; they should run concurrently (~0.02s)", red)
+	}
+	if serial < 0.08 {
+		t.Fatalf("inout chain took %.3fs; expected serialization (~0.08s)", serial)
+	}
+}
+
+func TestReductionThenReaderOrdering(t *testing.T) {
+	cfg := Config{Cluster: MultiGPUSystem(2), Validate: true}
+	rt := New(cfg)
+	_, err := rt.Run(func(ctx *Context) {
+		acc := ctx.Alloc(16)
+		out := ctx.Alloc(16)
+		ctx.InitSeq(acc, nil)
+		for i := 0; i < 4; i++ {
+			in := ctx.Alloc(256)
+			ctx.InitSeq(in, func(b []byte) {
+				v := unsafeF32(b)
+				for j := range v {
+					v[j] = 1
+				}
+			})
+			ctx.Task(partialSum{in: in, acc: acc, cost: time.Millisecond},
+				Target(CUDA), In(in), Reduction(acc, SumFloat32))
+		}
+		// A reader task: must see the fully combined value.
+		ctx.Task(copyFirst{src: acc, dst: out}, Target(SMP), In(acc), Out(out))
+		ctx.TaskWait()
+		if got := unsafeF32(ctx.HostBytes(out))[0]; got != 4*64 {
+			t.Errorf("reader saw %v, want %v", got, 4*64)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// copyFirst copies src[0] into dst[0].
+type copyFirst struct{ src, dst Region }
+
+func (w copyFirst) Name() string                      { return "copyFirst" }
+func (w copyFirst) GPUCost(hw.GPUSpec) time.Duration  { return time.Microsecond }
+func (w copyFirst) CPUCost(hw.NodeSpec) time.Duration { return time.Microsecond }
+func (w copyFirst) Run(store *memspace.Store) {
+	if store == nil {
+		return
+	}
+	unsafeF32(store.Bytes(w.dst))[0] = unsafeF32(store.Bytes(w.src))[0]
+}
+
+func TestReductionMixedSMPAndGPU(t *testing.T) {
+	cfg := Config{Cluster: MultiGPUSystem(2), Validate: true}
+	rt := New(cfg)
+	_, err := rt.Run(func(ctx *Context) {
+		acc := ctx.Alloc(16)
+		ctx.InitSeq(acc, nil)
+		for i := 0; i < 6; i++ {
+			in := ctx.Alloc(128)
+			ctx.InitSeq(in, func(b []byte) {
+				v := unsafeF32(b)
+				for j := range v {
+					v[j] = 2
+				}
+			})
+			dev := CUDA
+			if i%3 == 0 {
+				dev = SMP // host participants accumulate into the master copy
+			}
+			ctx.Task(partialSum{in: in, acc: acc, cost: time.Millisecond},
+				Target(dev), In(in), Reduction(acc, SumFloat32))
+		}
+		ctx.TaskWait()
+		if got := unsafeF32(ctx.HostBytes(acc))[0]; got != 6*2*32 {
+			t.Errorf("sum = %v, want %v", got, 6*2*32)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReductionOnClusterRunsAtMaster(t *testing.T) {
+	cfg := Config{Cluster: GPUCluster(3), Validate: true, SlaveToSlave: true}
+	rt := New(cfg)
+	stats, err := rt.Run(func(ctx *Context) {
+		acc := ctx.Alloc(16)
+		ctx.InitSeq(acc, nil)
+		for i := 0; i < 4; i++ {
+			in := ctx.Alloc(256)
+			ctx.InitSeq(in, func(b []byte) {
+				v := unsafeF32(b)
+				for j := range v {
+					v[j] = 1
+				}
+			})
+			ctx.Task(partialSum{in: in, acc: acc, cost: time.Millisecond},
+				Target(CUDA), In(in), Reduction(acc, SumFloat32))
+		}
+		ctx.TaskWait()
+		if got := unsafeF32(ctx.HostBytes(acc))[0]; got != 4*64 {
+			t.Errorf("sum = %v, want %v", got, 4*64)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross-node combining is not implemented: every reduction task must
+	// have run on the master node.
+	for node, count := range stats.TasksPerNode {
+		if node != 0 && count > 0 {
+			t.Fatalf("reduction task ran on node %d", node)
+		}
+	}
+}
+
+func TestReductionWithoutCombinerPanics(t *testing.T) {
+	cfg := Config{Cluster: MultiGPUSystem(1)}
+	rt := New(cfg)
+	panicked := false
+	_, err := rt.Run(func(ctx *Context) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		acc := ctx.Alloc(16)
+		ctx.InitSeq(acc, nil)
+		// Hand-build a Red dependence without registering a combiner.
+		ctx.Task(partialSum{in: acc, acc: acc, cost: time.Millisecond},
+			Target(CUDA), func(d *core.TaskDef) {
+				d.Deps = append(d.Deps, task.Dep{Region: acc, Access: task.Red})
+			})
+	})
+	if !panicked {
+		t.Fatalf("expected submit-time panic for missing combiner (err=%v)", err)
+	}
+}
