@@ -1,0 +1,33 @@
+# Developer entry points. `make check` is the gate every PR must pass.
+
+GO ?= go
+
+.PHONY: check vet fmt build test race bench baseline
+
+## check: gofmt + go vet + build + full test suite (the tier-1 gate)
+check: fmt vet build test
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## race: race-detect the simulation kernel and the parallel harness
+race:
+	$(GO) test -race ./internal/sim/... ./internal/bench/...
+
+## bench: engine microbenchmarks (ns/op and allocs/op of the sim primitives)
+bench:
+	$(GO) test ./internal/sim/ -run xxx -bench BenchmarkEngine -benchmem
+
+## baseline: time `ompss-bench -experiment all -quick` into BENCH_harness.json
+baseline:
+	sh scripts/perf_baseline.sh

@@ -5,7 +5,11 @@
 //
 //	ompss-bench -experiment fig5          # one figure, paper-scale sizes
 //	ompss-bench -experiment all -quick    # everything, reduced sizes
+//	ompss-bench -experiment all -parallel 0   # fan grid points over all cores
 //	ompss-bench -list                     # enumerate experiments
+//
+// Every grid point simulates on its own engine, so -parallel N runs N
+// points concurrently with bit-identical output to a sequential run.
 package main
 
 import (
@@ -13,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"time"
 
@@ -25,6 +31,9 @@ func main() {
 		quick      = flag.Bool("quick", false, "reduced problem sizes (seconds instead of minutes)")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		csvPath    = flag.String("csv", "", "also write all rows to this CSV file")
+		parallel   = flag.Int("parallel", 1, "grid points simulated concurrently (0 = GOMAXPROCS)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -35,7 +44,25 @@ func main() {
 		return
 	}
 
-	opts := bench.Options{Quick: *quick}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	workers := *parallel
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	opts := bench.Options{Quick: *quick, Parallel: workers}
 	var todo []bench.Experiment
 	if *experiment == "all" {
 		todo = bench.All()
@@ -70,15 +97,36 @@ func main() {
 		}
 		fmt.Printf("wrote %d rows to %s\n", len(all), *csvPath)
 	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
-// writeCSV dumps rows as experiment,config,value,unit.
-func writeCSV(path string, rows []bench.Row) error {
+// writeCSV dumps rows as experiment,config,value,unit. The file close error
+// is propagated: a full disk must not silently truncate results.
+func writeCSV(path string, rows []bench.Row) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	w := csv.NewWriter(f)
 	if err := w.Write([]string{"experiment", "config", "value", "unit"}); err != nil {
 		return err

@@ -16,71 +16,46 @@ func Ablations(o Options) ([]Row, error) {
 	pCluster := fig9MatmulParams(o)
 	pCluster.Init = apps.InitSMP
 
-	multi := func(mutate func(*ompss.Config)) (float64, error) {
-		cfg := multiGPUConfig(4, "wb", defaultSched())
-		mutate(&cfg)
-		res, err := apps.MatmulOmpSs(cfg, p)
-		return res.Metric, err
+	var pts []point
+	multi := func(config string, mutate func(*ompss.Config)) {
+		pts = append(pts, point{config: config, run: func() (float64, string, error) {
+			cfg := multiGPUConfig(4, "wb", defaultSched())
+			mutate(&cfg)
+			res, err := apps.MatmulOmpSs(cfg, p)
+			return res.Metric, "GFLOPS", err
+		}})
 	}
-	cluster := func(nodes int, mutate func(*ompss.Config)) (float64, error) {
-		cfg := clusterConfig(nodes)
-		cfg.SlaveToSlave = true
-		cfg.Presend = 2
-		mutate(&cfg)
-		res, err := apps.MatmulOmpSs(cfg, pCluster)
-		return res.Metric, err
-	}
-
-	var rows []Row
-	add := func(config string, v float64, err error) error {
-		if err != nil {
-			return fmt.Errorf("ablations %s: %w", config, err)
-		}
-		rows = append(rows, Row{Experiment: "ablations", Config: config, Value: v, Unit: "GFLOPS"})
-		return nil
+	cluster := func(config string, nodes int, mutate func(*ompss.Config)) {
+		pts = append(pts, point{config: config, run: func() (float64, string, error) {
+			cfg := clusterConfig(nodes)
+			cfg.SlaveToSlave = true
+			cfg.Presend = 2
+			mutate(&cfg)
+			res, err := apps.MatmulOmpSs(cfg, pCluster)
+			return res.Metric, "GFLOPS", err
+		}})
 	}
 
 	for _, on := range []bool{false, true} {
-		v, err := multi(func(c *ompss.Config) { c.Overlap = on })
-		if e := add(fmt.Sprintf("4gpu overlap=%v", on), v, err); e != nil {
-			return rows, e
-		}
+		multi(fmt.Sprintf("4gpu overlap=%v", on), func(c *ompss.Config) { c.Overlap = on })
 	}
 	for _, on := range []bool{false, true} {
-		v, err := multi(func(c *ompss.Config) { c.Overlap = true; c.Prefetch = on })
-		if e := add(fmt.Sprintf("4gpu overlap prefetch=%v", on), v, err); e != nil {
-			return rows, e
-		}
+		multi(fmt.Sprintf("4gpu overlap prefetch=%v", on), func(c *ompss.Config) { c.Overlap = true; c.Prefetch = on })
 	}
 	for _, on := range []bool{false, true} {
-		v, err := multi(func(c *ompss.Config) { c.NonBlockingCache = on })
-		if e := add(fmt.Sprintf("4gpu nonblocking=%v", on), v, err); e != nil {
-			return rows, e
-		}
+		multi(fmt.Sprintf("4gpu nonblocking=%v", on), func(c *ompss.Config) { c.NonBlockingCache = on })
 	}
 	for _, on := range []bool{false, true} {
-		v, err := multi(func(c *ompss.Config) { c.Scheduler = ompss.Affinity; c.Steal = on })
-		if e := add(fmt.Sprintf("4gpu affinity steal=%v", on), v, err); e != nil {
-			return rows, e
-		}
+		multi(fmt.Sprintf("4gpu affinity steal=%v", on), func(c *ompss.Config) { c.Scheduler = ompss.Affinity; c.Steal = on })
 	}
 	for _, presend := range []int{0, 1, 2, 4} {
-		v, err := cluster(4, func(c *ompss.Config) { c.Presend = presend })
-		if e := add(fmt.Sprintf("4node presend=%d", presend), v, err); e != nil {
-			return rows, e
-		}
+		cluster(fmt.Sprintf("4node presend=%d", presend), 4, func(c *ompss.Config) { c.Presend = presend })
 	}
 	for _, on := range []bool{false, true} {
-		v, err := cluster(8, func(c *ompss.Config) { c.SlaveToSlave = on })
-		if e := add(fmt.Sprintf("8node stos=%v", on), v, err); e != nil {
-			return rows, e
-		}
+		cluster(fmt.Sprintf("8node stos=%v", on), 8, func(c *ompss.Config) { c.SlaveToSlave = on })
 	}
 	for _, threads := range []int{1, 2} {
-		v, err := cluster(8, func(c *ompss.Config) { c.CommThreads = threads })
-		if e := add(fmt.Sprintf("8node commthreads=%d", threads), v, err); e != nil {
-			return rows, e
-		}
+		cluster(fmt.Sprintf("8node commthreads=%d", threads), 8, func(c *ompss.Config) { c.CommThreads = threads })
 	}
-	return rows, nil
+	return runGrid("ablations", o, pts)
 }

@@ -8,6 +8,8 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"github.com/bsc-repro/ompss"
 	"github.com/bsc-repro/ompss/internal/coherence"
@@ -26,11 +28,29 @@ func (r Row) String() string {
 	return fmt.Sprintf("%-6s %-42s %10.2f %s", r.Experiment, r.Config, r.Value, r.Unit)
 }
 
-// Options tunes experiment scale.
+// Options tunes experiment scale and harness parallelism.
 type Options struct {
 	// Quick shrinks problem sizes so the whole suite runs in seconds while
 	// preserving every qualitative shape. Full sizes are the paper's.
 	Quick bool
+
+	// Parallel is the number of worker goroutines running grid points of an
+	// experiment concurrently. Every grid point builds its own Engine and
+	// is fully independent, and results are assembled in grid order, so the
+	// output is bit-identical at any worker count. 0 or 1 runs
+	// sequentially; negative uses GOMAXPROCS.
+	Parallel int
+}
+
+// workers resolves Parallel to a concrete worker count.
+func (o Options) workers() int {
+	if o.Parallel < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if o.Parallel == 0 {
+		return 1
+	}
+	return o.Parallel
 }
 
 // Experiment is a named, runnable table/figure reproduction.
@@ -104,6 +124,65 @@ func multiGPUConfig(gpus int, policy coherence.Policy, scheduler sched.Policy) o
 		NonBlockingCache: true,
 		Steal:            true,
 	}
+}
+
+// point is one independent grid point of an experiment: one simulated run
+// on its own Engine, producing one row. run returns the plotted value and
+// its unit.
+type point struct {
+	config string
+	run    func() (float64, string, error)
+}
+
+// runGrid executes the grid points of experiment exp across o.workers()
+// goroutines and assembles the rows in grid order, so the result is
+// bit-identical to a sequential run. On failure it returns the rows that
+// precede the first failing point (in grid order) and that point's error,
+// matching the sequential early-return behavior.
+func runGrid(exp string, o Options, pts []point) ([]Row, error) {
+	rows := make([]Row, len(pts))
+	errs := make([]error, len(pts))
+	runOne := func(i int) {
+		v, unit, err := pts[i].run()
+		if err != nil {
+			errs[i] = fmt.Errorf("%s %s: %w", exp, pts[i].config, err)
+			return
+		}
+		rows[i] = Row{Experiment: exp, Config: pts[i].config, Value: v, Unit: unit}
+	}
+	if n := o.workers(); n > 1 && len(pts) > 1 {
+		if n > len(pts) {
+			n = len(pts)
+		}
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(n)
+		for w := 0; w < n; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					runOne(i)
+				}
+			}()
+		}
+		for i := range pts {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	} else {
+		for i := range pts {
+			if runOne(i); errs[i] != nil {
+				break
+			}
+		}
+	}
+	for i, err := range errs {
+		if err != nil {
+			return rows[:i], err
+		}
+	}
+	return rows, nil
 }
 
 // clusterConfig is the baseline configuration of the GPU-cluster runs,

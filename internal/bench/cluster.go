@@ -25,7 +25,7 @@ func fig9MatmulParams(o Options) apps.MatmulParams {
 // init {seq, smp, gpu} x presend {0, 1, 2}.
 func Fig9(o Options) ([]Row, error) {
 	p := fig9MatmulParams(o)
-	var rows []Row
+	var pts []point
 	for _, nodes := range nodeCounts {
 		for _, stos := range []bool{false, true} {
 			route := "MtoS"
@@ -39,20 +39,18 @@ func Fig9(o Options) ([]Row, error) {
 					cfg.Presend = presend
 					pp := p
 					pp.Init = init
-					res, err := apps.MatmulOmpSs(cfg, pp)
-					if err != nil {
-						return rows, fmt.Errorf("fig9 %dn %s %s p%d: %w", nodes, route, init, presend, err)
-					}
-					rows = append(rows, Row{
-						Experiment: "fig9",
-						Config:     fmt.Sprintf("%dnode %s %s presend%d", nodes, route, init, presend),
-						Value:      res.Metric, Unit: res.MetricName,
+					pts = append(pts, point{
+						config: fmt.Sprintf("%dnode %s %s presend%d", nodes, route, init, presend),
+						run: func() (float64, string, error) {
+							res, err := apps.MatmulOmpSs(cfg, pp)
+							return res.Metric, res.MetricName, err
+						},
 					})
 				}
 			}
 		}
 	}
-	return rows, nil
+	return runGrid("fig9", o, pts)
 }
 
 // bestClusterMatmulConfig is the winning Figure 9 setup used in Figure 10:
@@ -68,23 +66,23 @@ func bestClusterMatmulConfig(nodes int) ompss.Config {
 func Fig10(o Options) ([]Row, error) {
 	p := fig9MatmulParams(o)
 	p.Init = apps.InitSMP
-	var rows []Row
+	var pts []point
 	for _, nodes := range nodeCounts {
-		res, err := apps.MatmulOmpSs(bestClusterMatmulConfig(nodes), p)
-		if err != nil {
-			return rows, fmt.Errorf("fig10 ompss %dn: %w", nodes, err)
-		}
-		rows = append(rows, Row{Experiment: "fig10",
-			Config: fmt.Sprintf("%dnode ompss", nodes), Value: res.Metric, Unit: res.MetricName})
-
-		mres, err := apps.MatmulMPICUDA(ompss.GPUCluster(nodes), fig9MatmulParams(o), false)
-		if err != nil {
-			return rows, fmt.Errorf("fig10 mpi %dn: %w", nodes, err)
-		}
-		rows = append(rows, Row{Experiment: "fig10",
-			Config: fmt.Sprintf("%dnode mpi+cuda", nodes), Value: mres.Metric, Unit: mres.MetricName})
+		pts = append(pts, point{
+			config: fmt.Sprintf("%dnode ompss", nodes),
+			run: func() (float64, string, error) {
+				res, err := apps.MatmulOmpSs(bestClusterMatmulConfig(nodes), p)
+				return res.Metric, res.MetricName, err
+			},
+		}, point{
+			config: fmt.Sprintf("%dnode mpi+cuda", nodes),
+			run: func() (float64, string, error) {
+				res, err := apps.MatmulMPICUDA(ompss.GPUCluster(nodes), fig9MatmulParams(o), false)
+				return res.Metric, res.MetricName, err
+			},
+		})
 	}
-	return rows, nil
+	return runGrid("fig10", o, pts)
 }
 
 // fig11Params returns the cluster STREAM sizes (768 MB per node).
@@ -100,32 +98,32 @@ func fig11Params(o Options, nodes int) apps.StreamParams {
 
 // Fig11 reproduces Figure 11: cluster STREAM, OmpSs vs MPI+CUDA.
 func Fig11(o Options) ([]Row, error) {
-	var rows []Row
+	var pts []point
 	for _, nodes := range nodeCounts {
 		p := fig11Params(o, nodes)
 		cfg := clusterConfig(nodes)
 		cfg.SlaveToSlave = true
-		res, err := apps.StreamOmpSs(cfg, p)
-		if err != nil {
-			return rows, fmt.Errorf("fig11 ompss %dn: %w", nodes, err)
-		}
-		rows = append(rows, Row{Experiment: "fig11",
-			Config: fmt.Sprintf("%dnode ompss", nodes), Value: res.Metric, Unit: res.MetricName})
-
-		mres, err := apps.StreamMPICUDA(ompss.GPUCluster(nodes), p, false)
-		if err != nil {
-			return rows, fmt.Errorf("fig11 mpi %dn: %w", nodes, err)
-		}
-		rows = append(rows, Row{Experiment: "fig11",
-			Config: fmt.Sprintf("%dnode mpi+cuda", nodes), Value: mres.Metric, Unit: mres.MetricName})
+		pts = append(pts, point{
+			config: fmt.Sprintf("%dnode ompss", nodes),
+			run: func() (float64, string, error) {
+				res, err := apps.StreamOmpSs(cfg, p)
+				return res.Metric, res.MetricName, err
+			},
+		}, point{
+			config: fmt.Sprintf("%dnode mpi+cuda", nodes),
+			run: func() (float64, string, error) {
+				res, err := apps.StreamMPICUDA(ompss.GPUCluster(nodes), p, false)
+				return res.Metric, res.MetricName, err
+			},
+		})
 	}
-	return rows, nil
+	return runGrid("fig11", o, pts)
 }
 
 // Fig12 reproduces Figure 12: cluster Perlin, Flush vs NoFlush, OmpSs vs
 // MPI+CUDA.
 func Fig12(o Options) ([]Row, error) {
-	var rows []Row
+	var pts []point
 	for _, nodes := range nodeCounts {
 		for _, flush := range []bool{true, false} {
 			variant := "flush"
@@ -135,24 +133,22 @@ func Fig12(o Options) ([]Row, error) {
 			p := fig7Params(o, flush)
 			cfg := clusterConfig(nodes)
 			cfg.SlaveToSlave = true
-			res, err := apps.PerlinOmpSs(cfg, p)
-			if err != nil {
-				return rows, fmt.Errorf("fig12 ompss %dn %s: %w", nodes, variant, err)
-			}
-			rows = append(rows, Row{Experiment: "fig12",
-				Config: fmt.Sprintf("%dnode %s ompss", nodes, variant),
-				Value:  res.Metric, Unit: res.MetricName})
-
-			mres, err := apps.PerlinMPICUDA(ompss.GPUCluster(nodes), p, false)
-			if err != nil {
-				return rows, fmt.Errorf("fig12 mpi %dn %s: %w", nodes, variant, err)
-			}
-			rows = append(rows, Row{Experiment: "fig12",
-				Config: fmt.Sprintf("%dnode %s mpi+cuda", nodes, variant),
-				Value:  mres.Metric, Unit: mres.MetricName})
+			pts = append(pts, point{
+				config: fmt.Sprintf("%dnode %s ompss", nodes, variant),
+				run: func() (float64, string, error) {
+					res, err := apps.PerlinOmpSs(cfg, p)
+					return res.Metric, res.MetricName, err
+				},
+			}, point{
+				config: fmt.Sprintf("%dnode %s mpi+cuda", nodes, variant),
+				run: func() (float64, string, error) {
+					res, err := apps.PerlinMPICUDA(ompss.GPUCluster(nodes), p, false)
+					return res.Metric, res.MetricName, err
+				},
+			})
 		}
 	}
-	return rows, nil
+	return runGrid("fig12", o, pts)
 }
 
 // fig13Params returns the cluster N-Body sizes (20000 bodies, 10
@@ -171,7 +167,7 @@ func fig13Params(o Options, nodes int) apps.NBodyParams {
 
 // Fig13 reproduces Figure 13: cluster N-Body, OmpSs vs MPI+CUDA.
 func Fig13(o Options) ([]Row, error) {
-	var rows []Row
+	var pts []point
 	for _, nodes := range nodeCounts {
 		p := fig13Params(o, nodes)
 		cfg := clusterConfig(nodes)
@@ -181,19 +177,19 @@ func Fig13(o Options) ([]Row, error) {
 		cfg.Scheduler = sched.Dependencies
 		cfg.SlaveToSlave = true
 		cfg.Presend = 2
-		res, err := apps.NBodyOmpSs(cfg, p)
-		if err != nil {
-			return rows, fmt.Errorf("fig13 ompss %dn: %w", nodes, err)
-		}
-		rows = append(rows, Row{Experiment: "fig13",
-			Config: fmt.Sprintf("%dnode ompss", nodes), Value: res.Metric, Unit: res.MetricName})
-
-		mres, err := apps.NBodyMPICUDA(ompss.GPUCluster(nodes), p, false)
-		if err != nil {
-			return rows, fmt.Errorf("fig13 mpi %dn: %w", nodes, err)
-		}
-		rows = append(rows, Row{Experiment: "fig13",
-			Config: fmt.Sprintf("%dnode mpi+cuda", nodes), Value: mres.Metric, Unit: mres.MetricName})
+		pts = append(pts, point{
+			config: fmt.Sprintf("%dnode ompss", nodes),
+			run: func() (float64, string, error) {
+				res, err := apps.NBodyOmpSs(cfg, p)
+				return res.Metric, res.MetricName, err
+			},
+		}, point{
+			config: fmt.Sprintf("%dnode mpi+cuda", nodes),
+			run: func() (float64, string, error) {
+				res, err := apps.NBodyMPICUDA(ompss.GPUCluster(nodes), p, false)
+				return res.Metric, res.MetricName, err
+			},
+		})
 	}
-	return rows, nil
+	return runGrid("fig13", o, pts)
 }

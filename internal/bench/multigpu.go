@@ -21,23 +21,22 @@ func fig5Params(o Options) apps.MatmulParams {
 // cache-policy x scheduler x GPU-count grid.
 func Fig5(o Options) ([]Row, error) {
 	p := fig5Params(o)
-	var rows []Row
+	var pts []point
 	for _, gpus := range gpuCounts {
 		for _, pol := range cachePolicies {
 			for _, sch := range schedulers {
-				res, err := apps.MatmulOmpSs(multiGPUConfig(gpus, pol, sch), p)
-				if err != nil {
-					return rows, fmt.Errorf("fig5 %dgpu %s %s: %w", gpus, pol, schedLabel(sch), err)
-				}
-				rows = append(rows, Row{
-					Experiment: "fig5",
-					Config:     fmt.Sprintf("%dgpu %s %s", gpus, pol, schedLabel(sch)),
-					Value:      res.Metric, Unit: res.MetricName,
+				cfg := multiGPUConfig(gpus, pol, sch)
+				pts = append(pts, point{
+					config: fmt.Sprintf("%dgpu %s %s", gpus, pol, schedLabel(sch)),
+					run: func() (float64, string, error) {
+						res, err := apps.MatmulOmpSs(cfg, p)
+						return res.Metric, res.MetricName, err
+					},
 				})
 			}
 		}
 	}
-	return rows, nil
+	return runGrid("fig5", o, pts)
 }
 
 // fig6Params returns STREAM sizes (paper: 768 MB of arrays per GPU).
@@ -53,24 +52,23 @@ func fig6Params(o Options, gpus int) apps.StreamParams {
 
 // Fig6 reproduces Figure 6: STREAM bandwidth on the multi-GPU node.
 func Fig6(o Options) ([]Row, error) {
-	var rows []Row
+	var pts []point
 	for _, gpus := range gpuCounts {
 		p := fig6Params(o, gpus)
 		for _, pol := range cachePolicies {
 			for _, sch := range schedulers {
-				res, err := apps.StreamOmpSs(multiGPUConfig(gpus, pol, sch), p)
-				if err != nil {
-					return rows, fmt.Errorf("fig6 %dgpu %s %s: %w", gpus, pol, schedLabel(sch), err)
-				}
-				rows = append(rows, Row{
-					Experiment: "fig6",
-					Config:     fmt.Sprintf("%dgpu %s %s", gpus, pol, schedLabel(sch)),
-					Value:      res.Metric, Unit: res.MetricName,
+				cfg := multiGPUConfig(gpus, pol, sch)
+				pts = append(pts, point{
+					config: fmt.Sprintf("%dgpu %s %s", gpus, pol, schedLabel(sch)),
+					run: func() (float64, string, error) {
+						res, err := apps.StreamOmpSs(cfg, p)
+						return res.Metric, res.MetricName, err
+					},
 				})
 			}
 		}
 	}
-	return rows, nil
+	return runGrid("fig6", o, pts)
 }
 
 // fig7Params returns the Perlin sizes (paper: 1024 x 1024 image).
@@ -84,7 +82,7 @@ func fig7Params(o Options, flush bool) apps.PerlinParams {
 
 // Fig7 reproduces Figure 7: Perlin noise Mpixels/s, Flush vs NoFlush.
 func Fig7(o Options) ([]Row, error) {
-	var rows []Row
+	var pts []point
 	for _, gpus := range gpuCounts {
 		for _, flush := range []bool{true, false} {
 			variant := "flush"
@@ -93,19 +91,18 @@ func Fig7(o Options) ([]Row, error) {
 			}
 			p := fig7Params(o, flush)
 			for _, pol := range cachePolicies {
-				res, err := apps.PerlinOmpSs(multiGPUConfig(gpus, pol, defaultSched()), p)
-				if err != nil {
-					return rows, fmt.Errorf("fig7 %dgpu %s %s: %w", gpus, variant, pol, err)
-				}
-				rows = append(rows, Row{
-					Experiment: "fig7",
-					Config:     fmt.Sprintf("%dgpu %s %s", gpus, variant, pol),
-					Value:      res.Metric, Unit: res.MetricName,
+				cfg := multiGPUConfig(gpus, pol, defaultSched())
+				pts = append(pts, point{
+					config: fmt.Sprintf("%dgpu %s %s", gpus, variant, pol),
+					run: func() (float64, string, error) {
+						res, err := apps.PerlinOmpSs(cfg, p)
+						return res.Metric, res.MetricName, err
+					},
 				})
 			}
 		}
 	}
-	return rows, nil
+	return runGrid("fig7", o, pts)
 }
 
 // fig8Params returns the N-Body sizes (paper: 20000 bodies, 10 iterations).
@@ -126,7 +123,7 @@ func fig8Params(o Options, gpus int) apps.NBodyParams {
 // bookkeeping cost and in-path writebacks that entails) on essentially
 // every task, while no-cache keeps device memory free. See DESIGN.md.
 func Fig8(o Options) ([]Row, error) {
-	var rows []Row
+	var pts []point
 	for _, gpus := range gpuCounts {
 		p := fig8Params(o, gpus)
 		for _, pol := range cachePolicies {
@@ -140,16 +137,14 @@ func Fig8(o Options) ([]Row, error) {
 			capBytes := posBytes + 4*blockBytes
 			memBytes := cfg.Cluster.Nodes[0].GPUs[0].MemBytes
 			cfg.GPUCacheHeadroom = 1 - float64(capBytes)/float64(memBytes)
-			res, err := apps.NBodyOmpSs(cfg, p)
-			if err != nil {
-				return rows, fmt.Errorf("fig8 %dgpu %s: %w", gpus, pol, err)
-			}
-			rows = append(rows, Row{
-				Experiment: "fig8",
-				Config:     fmt.Sprintf("%dgpu %s", gpus, pol),
-				Value:      res.Metric, Unit: res.MetricName,
+			pts = append(pts, point{
+				config: fmt.Sprintf("%dgpu %s", gpus, pol),
+				run: func() (float64, string, error) {
+					res, err := apps.NBodyOmpSs(cfg, p)
+					return res.Metric, res.MetricName, err
+				},
 			})
 		}
 	}
-	return rows, nil
+	return runGrid("fig8", o, pts)
 }

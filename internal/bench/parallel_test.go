@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestParallelGridBitIdentical is the determinism regression test for the
+// parallel harness: running an experiment with a worker pool must produce
+// the exact []Row slice of a sequential run — same values, same units, same
+// order. One mid-size multi-GPU experiment and one cluster experiment cover
+// both machine models.
+func TestParallelGridBitIdentical(t *testing.T) {
+	for _, name := range []string{"fig5", "fig11"} {
+		e, ok := ByName(name)
+		if !ok {
+			t.Fatalf("unknown experiment %s", name)
+		}
+		seq, err := e.Run(Options{Quick: true, Parallel: 1})
+		if err != nil {
+			t.Fatalf("%s sequential: %v", name, err)
+		}
+		par, err := e.Run(Options{Quick: true, Parallel: 4})
+		if err != nil {
+			t.Fatalf("%s parallel: %v", name, err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("%s: parallel rows diverge from sequential", name)
+			for i := range seq {
+				if i < len(par) && seq[i] != par[i] {
+					t.Errorf("  row %d: seq %v != par %v", i, seq[i], par[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEngineRerunBitIdentical guards the sim-kernel determinism contract at
+// the harness level: two fresh runs of the same experiment must agree bit
+// for bit (each grid point builds its own Engine, so this exercises the
+// whole stack, not just one kernel instance).
+func TestEngineRerunBitIdentical(t *testing.T) {
+	e, _ := ByName("fig8")
+	first, err := e.Run(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := e.Run(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("rerun diverged:\n%v\nvs\n%v", first, second)
+	}
+}

@@ -5,17 +5,28 @@
 //
 // Determinism contract: exactly one process executes at any instant. A
 // process runs until it blocks (Sleep, Event.Wait, Queue.Get, ...); only
-// then does the engine pop the next event. Events with equal timestamps fire
-// in the order they were scheduled. Given identical inputs, a simulation
-// therefore produces bit-identical traces on every run.
+// then is the next event popped. Events with equal timestamps fire in the
+// order they were scheduled. Given identical inputs, a simulation therefore
+// produces bit-identical traces on every run.
+//
+// Fast path: the goroutine of a blocking process pops and dispatches the
+// next event itself, handing control directly to the process it wakes. The
+// engine goroutine sitting in Run is only a quiescence monitor, so the
+// common block→wake cycle costs one goroutine switch instead of three, and
+// a process that unblocks itself (Yield, zero-length Sleep) costs none.
+// Events are recycled on a per-engine free list and process wake-ups are
+// scheduled without closures, so the steady-state hot path does not
+// allocate. Dispatch order is identical to a central pop loop — only the
+// goroutine doing the popping changes — so the determinism contract is
+// unaffected.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"runtime/debug"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -31,44 +42,41 @@ func (t Time) String() string { return time.Duration(t).String() }
 // Seconds returns the virtual time as floating-point seconds.
 func (t Time) Seconds() float64 { return float64(t) / 1e9 }
 
+// event is a pending occurrence in the priority queue. Exactly one of proc
+// and fn is set: proc marks a pooled, closure-free process wake-up; fn is a
+// bare callback (bare=true) or a process-spawn trampoline (bare=false).
 type event struct {
 	at   Time
 	seq  uint64
-	bare bool // true: fn completes synchronously; false: fn hands off to a process
+	bare bool
 	fn   func()
+	proc *Proc
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	return a.seq < b.seq
 }
 
 // Engine is the simulation kernel. Create one with NewEngine, spawn the root
 // process(es) with Go, then call Run.
 type Engine struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	now     Time
-	seq     uint64
-	queue   eventHeap
-	running int // processes (or the engine itself) currently executing
+	mu   sync.Mutex
+	cond *sync.Cond
 
-	blocked map[*Proc]string // blocked process -> reason, for deadlock reports
+	// now is the virtual clock. Written only while dispatching (single
+	// threaded by construction), read lock-free by Now so the running
+	// process never touches the mutex just to timestamp something.
+	now atomic.Int64
+
+	seq     uint64
+	queue   []*event // binary min-heap on (at, seq)
+	free    []*event // recycled events; hot-path scheduling never allocates
+	running int      // processes (or bare callbacks) currently executing
+
+	procs   []*Proc // live processes, maintained on spawn/exit only
 	procSeq int
 
 	stopped bool
@@ -77,24 +85,129 @@ type Engine struct {
 
 // NewEngine returns an empty engine at virtual time zero.
 func NewEngine() *Engine {
-	e := &Engine{blocked: make(map[*Proc]string)}
+	e := &Engine{}
 	e.cond = sync.NewCond(&e.mu)
 	return e
 }
 
-// Now returns the current virtual time. It is safe to call from any process.
-func (e *Engine) Now() Time {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.now
+// Now returns the current virtual time. It is safe to call from any
+// process and never takes the engine lock.
+func (e *Engine) Now() Time { return Time(e.now.Load()) }
+
+// newEventLocked returns a zeroed event from the free list, or a fresh one.
+func (e *Engine) newEventLocked() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+func (e *Engine) releaseEventLocked(ev *event) {
+	ev.fn = nil
+	ev.proc = nil
+	e.free = append(e.free, ev)
+}
+
+// pushEventLocked inserts ev into the heap. Caller must hold e.mu.
+func (e *Engine) pushEventLocked(ev *event) {
+	q := append(e.queue, ev)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(q[i], q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	e.queue = q
+}
+
+// popEventLocked removes and returns the earliest event. Caller must hold
+// e.mu and guarantee the queue is non-empty.
+func (e *Engine) popEventLocked() *event {
+	q := e.queue
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = nil
+	q = q[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && eventLess(q[l], q[s]) {
+			s = l
+		}
+		if r < n && eventLess(q[r], q[s]) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		q[i], q[s] = q[s], q[i]
+		i = s
+	}
+	e.queue = q
+	return top
 }
 
 // scheduleLocked enqueues fn to run at time at. Caller must hold e.mu.
-func (e *Engine) scheduleLocked(at Time, bare bool, fn func()) *event {
-	ev := &event{at: at, seq: e.seq, bare: bare, fn: fn}
+func (e *Engine) scheduleLocked(at Time, bare bool, fn func()) {
+	ev := e.newEventLocked()
+	ev.at, ev.seq, ev.bare, ev.fn = at, e.seq, bare, fn
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	e.pushEventLocked(ev)
+}
+
+// scheduleWakeLocked enqueues a closure-free wake-up of p at time at.
+// Caller must hold e.mu.
+func (e *Engine) scheduleWakeLocked(p *Proc, at Time) {
+	ev := e.newEventLocked()
+	ev.at, ev.seq, ev.proc = at, e.seq, p
+	e.seq++
+	e.pushEventLocked(ev)
+}
+
+// dispatchLocked drives the simulation while no process is runnable: it
+// pops events in (at, seq) order until one hands control to a process, the
+// queue drains, or the engine stops. It runs on whichever goroutine just
+// made running reach zero (a blocking or exiting process, or Run itself),
+// which is what makes block→wake a direct handoff. Caller must hold e.mu;
+// the lock may be dropped and retaken around bare callbacks.
+func (e *Engine) dispatchLocked() {
+	for e.running == 0 && !e.stopped && len(e.queue) > 0 {
+		ev := e.popEventLocked()
+		e.now.Store(int64(ev.at))
+		e.running = 1
+		if p := ev.proc; p != nil {
+			// Direct handoff: transfer the running count to p without
+			// leaving the lock. The buffered send cannot block (a proc
+			// has at most one pending wake-up) and establishes the
+			// happens-before edge to the woken goroutine.
+			e.releaseEventLocked(ev)
+			p.blockReason = ""
+			p.wake <- struct{}{}
+			return
+		}
+		fn, bare := ev.fn, ev.bare
+		e.releaseEventLocked(ev)
+		e.mu.Unlock()
+		fn()
+		e.mu.Lock()
+		if bare {
+			e.running--
+		}
+		// Spawn events keep running at 1: the new process goroutine owns
+		// the count until it blocks or exits, so the loop ends here.
+	}
+	if e.running == 0 {
+		// Quiescent (drained or stopped): wake Run to finish up.
+		e.cond.Signal()
+	}
 }
 
 // Go spawns a new process that will begin executing fn at the current
@@ -116,10 +229,12 @@ func (e *Engine) GoAfter(name string, d Duration, fn func(p *Proc)) *Proc {
 func (e *Engine) goLocked(name string, d Duration, fn func(p *Proc)) *Proc {
 	e.procSeq++
 	p := &Proc{e: e, name: name, id: e.procSeq, wake: make(chan struct{}, 1)}
-	e.scheduleLocked(e.now+Time(d), false, func() {
-		// Runs on the engine goroutine with running already incremented;
-		// hand execution to the new process goroutine, which owns the
-		// running count until it blocks or exits.
+	p.regIdx = len(e.procs)
+	e.procs = append(e.procs, p)
+	e.scheduleLocked(e.Now()+Time(d), false, func() {
+		// Runs with running already at 1; hand execution to the new
+		// process goroutine, which owns the running count until it blocks
+		// or exits.
 		go func() {
 			defer func() {
 				if r := recover(); r != nil {
@@ -134,8 +249,9 @@ func (e *Engine) goLocked(name string, d Duration, fn func(p *Proc)) *Proc {
 					p.onExit.Trigger()
 				}
 				e.mu.Lock()
+				e.unregisterLocked(p)
 				e.running--
-				e.cond.Signal()
+				e.dispatchLocked()
 				e.mu.Unlock()
 			}()
 			fn(p)
@@ -144,13 +260,22 @@ func (e *Engine) goLocked(name string, d Duration, fn func(p *Proc)) *Proc {
 	return p
 }
 
+// unregisterLocked removes p from the live-process registry (swap-remove).
+func (e *Engine) unregisterLocked(p *Proc) {
+	last := len(e.procs) - 1
+	e.procs[p.regIdx] = e.procs[last]
+	e.procs[p.regIdx].regIdx = p.regIdx
+	e.procs[last] = nil
+	e.procs = e.procs[:last]
+}
+
 // After schedules a bare callback (not a process) at now+d. The callback
-// runs on the engine goroutine and must not block; it may schedule further
-// events, trigger Events, or push to Queues.
+// runs inline on the dispatching goroutine and must not block; it may
+// schedule further events, trigger Events, or push to Queues.
 func (e *Engine) After(d Duration, fn func()) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.scheduleLocked(e.now+Time(d), true, fn)
+	e.scheduleLocked(e.Now()+Time(d), true, fn)
 }
 
 // Stop aborts the simulation: Run returns err once all currently runnable
@@ -187,41 +312,29 @@ func (d *DeadlockError) Error() string {
 // Run drives the simulation until the event queue drains and no process is
 // runnable. It returns a *DeadlockError if processes remain blocked at the
 // end, or the error passed to Stop.
+//
+// Run kicks off the first dispatch and then only monitors for quiescence:
+// once processes are running, all further dispatching happens directly on
+// the goroutines of blocking processes.
 func (e *Engine) Run() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	for {
-		for e.running > 0 {
-			e.cond.Wait()
-		}
-		if e.stopped {
-			return e.stopErr
-		}
-		if e.queue.Len() == 0 {
-			break
-		}
-		ev := heap.Pop(&e.queue).(*event)
-		if ev.fn == nil { // cancelled
-			continue
-		}
-		e.now = ev.at
-		e.running++
-		fn := ev.fn
-		bare := ev.bare
-		e.mu.Unlock()
-		fn()
-		e.mu.Lock()
-		if bare {
-			e.running--
+	e.dispatchLocked()
+	for e.running > 0 || (!e.stopped && len(e.queue) > 0) {
+		e.cond.Wait()
+	}
+	if e.stopped {
+		return e.stopErr
+	}
+	var names []string
+	for _, p := range e.procs {
+		if p.blockReason != "" {
+			names = append(names, fmt.Sprintf("%s#%d: %s", p.name, p.id, p.blockReason))
 		}
 	}
-	if len(e.blocked) > 0 {
-		var names []string
-		for p, reason := range e.blocked {
-			names = append(names, fmt.Sprintf("%s#%d: %s", p.name, p.id, reason))
-		}
+	if len(names) > 0 {
 		sort.Strings(names)
-		return &DeadlockError{Now: e.now, Blocked: names}
+		return &DeadlockError{Now: e.Now(), Blocked: names}
 	}
 	return nil
 }

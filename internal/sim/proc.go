@@ -10,6 +10,13 @@ type Proc struct {
 	wake chan struct{}
 	done bool
 
+	// blockReason is non-empty while the process is blocked; it doubles as
+	// the lazy replacement for a blocked-process map (deadlock reports scan
+	// the live-process registry instead of maintaining a map on every
+	// block/wake). Guarded by e.mu.
+	blockReason string
+	regIdx      int // position in e.procs, maintained on spawn/exit
+
 	onExit *Event // lazily created by Done()
 }
 
@@ -25,27 +32,21 @@ func (p *Proc) Engine() *Engine { return p.e }
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.e.Now() }
 
-// block suspends the process until something calls p.resume (via a scheduled
-// wake event or a primitive). reason appears in deadlock reports.
+// block suspends the process until a scheduled wake-up (or a primitive)
+// resumes it. The blocking goroutine dispatches the next event itself —
+// handing control directly to whichever process comes next — before
+// parking. reason appears in deadlock reports.
 func (p *Proc) block(reason string) {
 	e := p.e
 	e.mu.Lock()
-	e.blocked[p] = reason
+	p.blockReason = reason
 	e.running--
-	e.cond.Signal()
+	e.dispatchLocked()
 	e.mu.Unlock()
+	// If dispatch popped this process's own wake-up (Yield, zero Sleep,
+	// same-timestamp resume), the buffered send already happened and this
+	// receive completes without a goroutine switch.
 	<-p.wake
-}
-
-// resumeEvent schedules a wake-up for p at time at. Caller must hold e.mu.
-// The scheduled event transfers the running count to p.
-func (p *Proc) resumeEventLocked(at Time) *event {
-	return p.e.scheduleLocked(at, false, func() {
-		p.e.mu.Lock()
-		delete(p.e.blocked, p)
-		p.e.mu.Unlock()
-		p.wake <- struct{}{}
-	})
 }
 
 // Sleep suspends the process for virtual duration d. Negative or zero d
@@ -57,7 +58,7 @@ func (p *Proc) Sleep(d Duration) {
 	}
 	e := p.e
 	e.mu.Lock()
-	p.resumeEventLocked(e.now + Time(d))
+	e.scheduleWakeLocked(p, e.Now()+Time(d))
 	e.mu.Unlock()
 	p.block("sleeping")
 }
@@ -112,7 +113,7 @@ func (ev *Event) Trigger() {
 	}
 	ev.triggered = true
 	for _, w := range ev.waiters {
-		w.resumeEventLocked(ev.e.now)
+		ev.e.scheduleWakeLocked(w, ev.e.Now())
 	}
 	ev.waiters = nil
 }
@@ -160,7 +161,7 @@ func (c *Counter) Add(delta int) {
 	}
 	if c.n == 0 {
 		for _, w := range c.waiters {
-			w.resumeEventLocked(c.e.now)
+			c.e.scheduleWakeLocked(w, c.e.Now())
 		}
 		c.waiters = nil
 	}

@@ -41,7 +41,7 @@ func (q *Queue[T]) Put(v T) {
 		w := q.waiters[0]
 		q.waiters = q.waiters[1:]
 		w.item, w.ok, w.valid = v, true, true
-		w.p.resumeEventLocked(q.e.now)
+		q.e.scheduleWakeLocked(w.p, q.e.Now())
 		return
 	}
 	q.items = append(q.items, v)
@@ -59,7 +59,7 @@ func (q *Queue[T]) Close() {
 	q.closed = true
 	for _, w := range q.waiters {
 		w.valid = true
-		w.p.resumeEventLocked(q.e.now)
+		q.e.scheduleWakeLocked(w.p, q.e.Now())
 	}
 	q.waiters = nil
 }

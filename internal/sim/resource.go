@@ -46,7 +46,7 @@ func (r *Resource) Release() {
 		w := r.waiters[0]
 		r.waiters = r.waiters[1:]
 		// Unit passes directly to the waiter; inUse unchanged.
-		w.resumeEventLocked(r.e.now)
+		r.e.scheduleWakeLocked(w, r.e.Now())
 		return
 	}
 	r.inUse--

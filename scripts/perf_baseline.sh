@@ -1,0 +1,42 @@
+#!/bin/sh
+# perf_baseline.sh — record the simulator's own wall-clock performance.
+#
+# Builds ompss-bench, times `-experiment all -quick` once sequentially and
+# once with the parallel harness, and writes the numbers to BENCH_harness.json
+# at the repo root so every PR leaves a perf trajectory behind it.
+#
+# Usage: sh scripts/perf_baseline.sh
+set -e
+
+cd "$(dirname "$0")/.."
+BIN=$(mktemp /tmp/ompss-bench.XXXXXX)
+trap 'rm -f "$BIN"' EXIT
+
+go build -o "$BIN" ./cmd/ompss-bench
+
+ms_now() { date +%s%3N; }
+
+run_timed() {
+    start=$(ms_now)
+    "$BIN" -experiment all -quick -parallel "$1" >/dev/null
+    end=$(ms_now)
+    echo $((end - start))
+}
+
+CORES=$(nproc 2>/dev/null || echo 1)
+SERIAL_MS=$(run_timed 1)
+PARALLEL_MS=$(run_timed 0) # 0 = GOMAXPROCS workers
+
+cat > BENCH_harness.json <<EOF
+{
+  "date": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "host_cores": $CORES,
+  "go_version": "$(go env GOVERSION)",
+  "command": "ompss-bench -experiment all -quick",
+  "serial_ms": $SERIAL_MS,
+  "parallel_ms": $PARALLEL_MS,
+  "parallel_workers": $CORES
+}
+EOF
+
+echo "serial ${SERIAL_MS}ms, parallel(${CORES} workers) ${PARALLEL_MS}ms -> BENCH_harness.json"
