@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet fmt build test race bench baseline
+.PHONY: check vet fmt build test race bench baseline resilience
 
 ## check: gofmt + go vet + build + full test suite (the tier-1 gate)
 check: fmt vet build test
@@ -23,6 +23,12 @@ test:
 ## race: race-detect the simulation kernel and the parallel harness
 race:
 	$(GO) test -race ./internal/sim/... ./internal/bench/...
+
+## resilience: the fault-plan test matrix plus the quick resilience grid
+resilience:
+	$(GO) test ./internal/faults/ ./internal/core/ -run 'Resilience|Fault'
+	$(GO) test ./internal/gasnet/ -run 'Reliable|Ack|Attempts|Shutdown|Probe|InboundFilter'
+	$(GO) run ./cmd/ompss-bench -experiment resilience -quick
 
 ## bench: engine microbenchmarks (ns/op and allocs/op of the sim primitives)
 bench:

@@ -74,6 +74,7 @@ func All() []Experiment {
 		{"fig13", "N-Body, GPU cluster: OmpSs vs MPI+CUDA", Fig13},
 		{"table1", "Useful lines of code: Serial vs CUDA vs MPI+CUDA vs OmpSs", Table1},
 		{"ablations", "Runtime-mechanism ablations on Matmul (beyond the paper's grid)", Ablations},
+		{"resilience", "Fault injection on cluster Matmul/STREAM: correctness and cost under drops, stalls, crashes", Resilience},
 	}
 }
 

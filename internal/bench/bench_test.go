@@ -218,7 +218,7 @@ func TestTable1Shapes(t *testing.T) {
 
 func TestAllAndNames(t *testing.T) {
 	names := Names()
-	if len(names) != 11 || names[0] != "fig5" || names[9] != "table1" || names[10] != "ablations" {
+	if len(names) != 12 || names[0] != "fig5" || names[9] != "table1" || names[11] != "resilience" {
 		t.Fatalf("names = %v", names)
 	}
 	if _, ok := ByName("nosuch"); ok {
@@ -228,6 +228,39 @@ func TestAllAndNames(t *testing.T) {
 		if e.Title == "" || e.Run == nil {
 			t.Fatalf("experiment %s incomplete", e.Name)
 		}
+	}
+}
+
+func TestResilienceShapes(t *testing.T) {
+	v := rows(t, "resilience")
+	// Correctness is asserted inside the experiment (every faulted run must
+	// reproduce the clean checksum); the shapes here are about cost.
+	// Surviving faults cannot be free, but light faults must stay close.
+	expectOrder(t, v, "8node matmul clean", "8node matmul drop1%")
+	expectOrder(t, v, "8node matmul drop0.1%", "8node matmul drop1%")
+	expectOrder(t, v, "8node matmul clean", "8node matmul degraded lat x4 bw x0.5")
+	if v["8node matmul armed zero-fault"] < 0.9*v["8node matmul clean"] {
+		t.Errorf("armed zero-fault protocol overhead too high: %.1f vs clean %.1f",
+			v["8node matmul armed zero-fault"], v["8node matmul clean"])
+	}
+	// The crash run loses a node mid-flight and replays work; it must still
+	// finish with usable throughput (the exact cost depends on how much the
+	// dead node held — at quick scale event reordering can even make it a
+	// hair faster than clean, so no strict ordering here).
+	if crash := v["8node matmul crash 1-of-8"]; crash < 0.3*v["8node matmul clean"] {
+		t.Errorf("crash run collapsed: %.1f vs clean %.1f", crash, v["8node matmul clean"])
+	}
+	if v["crash dead nodes"] != 1 {
+		t.Errorf("crash dead nodes = %v, want 1", v["crash dead nodes"])
+	}
+	if v["crash tasks re-executed"] < 1 {
+		t.Errorf("crash re-executed %v tasks, want >= 1", v["crash tasks re-executed"])
+	}
+	if v["crash recovery time"] <= 0 {
+		t.Errorf("crash recovery time = %v ms, want > 0", v["crash recovery time"])
+	}
+	if v["drop1% retries"] < 1 {
+		t.Errorf("drop1%% retries = %v, want >= 1", v["drop1% retries"])
 	}
 }
 

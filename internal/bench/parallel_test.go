@@ -35,6 +35,33 @@ func TestParallelGridBitIdentical(t *testing.T) {
 	}
 }
 
+// TestResilienceReplayBitIdentical is the deterministic-replay guarantee of
+// the fault subsystem at the harness level: every row of the resilience
+// experiment — throughput under seeded drops, crash recovery counters — must
+// come out bit-identical on a rerun, sequential or parallel.
+func TestResilienceReplayBitIdentical(t *testing.T) {
+	e, ok := ByName("resilience")
+	if !ok {
+		t.Fatal("unknown experiment resilience")
+	}
+	first, err := e.Run(Options{Quick: true, Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := e.Run(Options{Quick: true, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("resilience rows diverge across replays")
+		for i := range first {
+			if i < len(second) && first[i] != second[i] {
+				t.Errorf("  row %d: %v != %v", i, first[i], second[i])
+			}
+		}
+	}
+}
+
 // TestEngineRerunBitIdentical guards the sim-kernel determinism contract at
 // the harness level: two fresh runs of the same experiment must agree bit
 // for bit (each grid point builds its own Engine, so this exercises the

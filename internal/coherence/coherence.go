@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"github.com/bsc-repro/ompss/internal/memspace"
+	"github.com/bsc-repro/ompss/internal/task"
 )
 
 // Policy is a cache write policy.
@@ -39,12 +40,23 @@ const (
 // initializer establishes residence.
 type Directory struct {
 	entries map[uint64]*dirEntry
+
+	// home, when set, is the location whose holdership makes a region
+	// durable (the master host in the cluster runtime). While the home
+	// does not hold a region's current version, the directory logs the
+	// producer task of every version since the home last held it — the
+	// re-execution recipe if all replicas die with their nodes.
+	home    memspace.Location
+	homeSet bool
 }
 
 type dirEntry struct {
 	region  memspace.Region
 	version int
 	holders map[memspace.Location]bool
+	// producers is the chain of tasks that produced the versions since
+	// home last held this region, oldest first. Empty while home holds it.
+	producers []*task.Task
 }
 
 // NewDirectory returns an empty directory.
@@ -63,11 +75,40 @@ func (d *Directory) entry(r memspace.Region) *dirEntry {
 	return en
 }
 
+// TrackProducers declares home the durable location and starts logging,
+// per region, the producer tasks of versions the home does not hold. Used
+// by the fault-tolerant cluster runtime with home = the master host.
+func (d *Directory) TrackProducers(home memspace.Location) {
+	d.home = home
+	d.homeSet = true
+}
+
+// RecordProducer appends t to r's producer chain. No-op unless
+// TrackProducers was called. The caller invokes this when a version is
+// produced away from home; the chain resets whenever home regains a copy.
+func (d *Directory) RecordProducer(r memspace.Region, t *task.Task) {
+	if !d.homeSet {
+		return
+	}
+	d.entry(r).producers = append(d.entry(r).producers, t)
+}
+
+// Producers returns a copy of r's producer chain, oldest first.
+func (d *Directory) Producers(r memspace.Region) []*task.Task {
+	if en, ok := d.entries[r.Addr]; ok && len(en.producers) > 0 {
+		return append([]*task.Task(nil), en.producers...)
+	}
+	return nil
+}
+
 // Init declares that loc holds the initial version of r (e.g. the master
 // host after serial initialization).
 func (d *Directory) Init(r memspace.Region, loc memspace.Location) {
 	en := d.entry(r)
 	en.holders[loc] = true
+	if d.homeSet && loc == d.home {
+		en.producers = nil
+	}
 }
 
 // Produced registers a new version of r produced at loc: loc becomes the
@@ -79,6 +120,9 @@ func (d *Directory) Produced(r memspace.Region, loc memspace.Location) {
 		delete(en.holders, l)
 	}
 	en.holders[loc] = true
+	if d.homeSet && loc == d.home {
+		en.producers = nil
+	}
 }
 
 // AddHolder records that loc received a copy of the current version.
@@ -88,6 +132,46 @@ func (d *Directory) AddHolder(r memspace.Region, loc memspace.Location) {
 		panic(fmt.Sprintf("coherence: AddHolder for unknown region %v", r))
 	}
 	en.holders[loc] = true
+	if d.homeSet && loc == d.home {
+		en.producers = nil
+	}
+}
+
+// PurgeNode removes every holder located on the given node and returns the
+// regions left with no holder at all — their current version died with the
+// node — ordered by address for deterministic recovery.
+func (d *Directory) PurgeNode(node int) []memspace.Region {
+	var lost []memspace.Region
+	for _, en := range d.entries {
+		changed := false
+		for l := range en.holders {
+			if l.Node == node {
+				delete(en.holders, l)
+				changed = true
+			}
+		}
+		if changed && len(en.holders) == 0 {
+			lost = append(lost, en.region)
+		}
+	}
+	sort.Slice(lost, func(i, j int) bool { return lost[i].Addr < lost[j].Addr })
+	return lost
+}
+
+// Rehome rebases a lost region onto the stale copy the home still has: the
+// home becomes the sole holder (version unchanged) and the producer chain
+// resets, since re-running the old chain from this base rebuilds the lost
+// version and relogs it. Panics without TrackProducers.
+func (d *Directory) Rehome(r memspace.Region) {
+	if !d.homeSet {
+		panic("coherence: Rehome without TrackProducers")
+	}
+	en := d.entry(r)
+	for l := range en.holders {
+		delete(en.holders, l)
+	}
+	en.holders[d.home] = true
+	en.producers = nil
 }
 
 // DropHolder records that loc no longer holds r (eviction). Dropping the

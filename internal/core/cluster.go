@@ -80,16 +80,46 @@ func (rt *Runtime) registerMasterHandlers() {
 	m.ep.Register(amTaskDone, func(p *sim.Proc, am gasnet.AM) {
 		args := am.Args.(doneArgs)
 		t, node := args.Task, args.Node
+		if ft := rt.ft; ft != nil {
+			// Only the dispatch of record may retire the task: a completion
+			// from a node that was declared dead (and whose copy of the task
+			// was requeued) is stale and must be ignored.
+			if n2, in := ft.inflightNode[t.ID]; !in || n2 != node {
+				return
+			}
+			delete(ft.inflightNode, t.ID)
+			delete(ft.inflightTask, t.ID)
+		}
 		for _, c := range t.Copies() {
 			if c.Access.Writes() {
 				m.produced(c.Region, memspace.Host(node))
+				if rt.ft != nil {
+					// Log the producer so the version can be rebuilt if
+					// every copy dies with its holders.
+					m.dir.RecordProducer(c.Region, t)
+				}
 			}
 		}
 		cl.outstanding[node]--
 		rt.remoteRun++
+		if ft := rt.ft; ft != nil {
+			if done, rec := ft.recoveryDone[t.ID]; rec {
+				// A re-executed producer: the graph retired it long ago;
+				// just advance the rebuild.
+				done.Trigger()
+				m.signalWork()
+				return
+			}
+		}
 		rt.finishTask(t, node)
 		m.signalWork()
 	})
+	if rt.ft != nil {
+		m.ep.Register(amPong, func(p *sim.Proc, am gasnet.AM) {
+			rt.ft.pongSince[am.From] = true
+			rt.ft.missStreak[am.From] = 0
+		})
+	}
 	m.ep.Register(amData, func(p *sim.Proc, am gasnet.AM) {
 		// Data pulled back to the master host: the producer still holds
 		// the current version, the master host gains a copy.
@@ -139,6 +169,9 @@ func (rt *Runtime) commLoop(p *sim.Proc, thread, threads int) {
 		progress := false
 		for tried := 0; tried < len(mine); tried++ {
 			k := mine[(cursor+tried)%len(mine)]
+			if rt.nodeIsDead(k) {
+				continue
+			}
 			if cl.outstanding[k] >= limit {
 				continue
 			}
@@ -147,14 +180,28 @@ func (rt *Runtime) commLoop(p *sim.Proc, thread, threads int) {
 				continue
 			}
 			cl.outstanding[k]++
+			if ft := rt.ft; ft != nil && k > 0 {
+				// Track the dispatch before its process exists, so a death
+				// can never catch the task in an untracked window.
+				ft.inflightNode[t.ID] = k
+				ft.inflightTask[t.ID] = t
+			}
 			progress = true
 			if debugPlacement {
 				fmt.Printf("[comm] %s -> node%d (outstanding %d)\n", t.Name, k, cl.outstanding[k])
 			}
 			if k == 0 {
-				m.enqueueLocal(t, func(cp *sim.Proc, ft *task.Task, place int) {
+				m.enqueueLocal(t, func(cp *sim.Proc, done *task.Task, place int) {
 					cl.outstanding[0]--
-					rt.finishTask(ft, 0)
+					if ft := rt.ft; ft != nil {
+						if ev, rec := ft.recoveryDone[done.ID]; rec {
+							// Re-executed producer: already retired once.
+							ev.Trigger()
+							m.signalWork()
+							return
+						}
+					}
+					rt.finishTask(done, 0)
 					m.signalWork()
 				})
 			} else {
@@ -221,7 +268,9 @@ func (rt *Runtime) clusterScore(t *task.Task) []uint64 {
 			}
 		}
 		for k := 1; k < len(rt.nodes); k++ {
-			if m.dir.IsHolder(c.Region, memspace.Host(k)) {
+			// Dead nodes score zero: PurgeNode removed their holdings, the
+			// check is belt-and-braces for the declaration window.
+			if m.dir.IsHolder(c.Region, memspace.Host(k)) && !rt.nodeIsDead(k) {
 				scores[k] += w * c.Region.Size
 			}
 		}
@@ -234,6 +283,25 @@ func (rt *Runtime) clusterScore(t *task.Task) []uint64 {
 // combining is not implemented (the paper lists reductions entirely as
 // future work).
 func (rt *Runtime) clusterCanRun(place int, t *task.Task) bool {
+	if ft := rt.ft; ft != nil {
+		if ft.dead[place] {
+			return false
+		}
+		// Hold back tasks touching a region whose lost version is being
+		// rebuilt — running them against the master's stale base (or
+		// clobbering it with a newer write the replay would then undo)
+		// would corrupt the recovery. The replayed producers themselves
+		// are exempt: their re-runs are the rebuild.
+		if len(ft.restoreEvents) > 0 {
+			if _, rec := ft.recoveryDone[t.ID]; !rec {
+				for _, c := range t.Copies() {
+					if _, busy := ft.restoreEvents[c.Region.Addr]; busy {
+						return false
+					}
+				}
+			}
+		}
+	}
 	for _, d := range t.Deps {
 		if d.Access == task.Red && place != 0 {
 			return false
@@ -250,7 +318,11 @@ func (rt *Runtime) clusterCanRun(place int, t *task.Task) bool {
 // each dispatch runs in its own process.
 func (rt *Runtime) dispatchRemote(p *sim.Proc, t *task.Task, k int) {
 	m := rt.master()
+	if rt.nodeIsDead(k) {
+		return // nodeDead already requeued this task
+	}
 	copies := mergeCopies(t.Copies())
+	staged := true
 	if rt.cfg.NonBlockingCache {
 		var wait []*sim.Event
 		for _, c := range copies {
@@ -260,7 +332,9 @@ func (rt *Runtime) dispatchRemote(p *sim.Proc, t *task.Task, k int) {
 			c := c
 			done := sim.NewEvent(rt.e)
 			rt.e.Go("stageNet", func(sp *sim.Proc) {
-				rt.stageToNode(sp, c.Region, k)
+				if !rt.stageToNode(sp, c.Region, k) {
+					staged = false
+				}
 				done.Trigger()
 			})
 			wait = append(wait, done)
@@ -271,26 +345,61 @@ func (rt *Runtime) dispatchRemote(p *sim.Proc, t *task.Task, k int) {
 	} else {
 		for _, c := range copies {
 			if c.Access.Reads() {
-				rt.stageToNode(p, c.Region, k)
+				if !rt.stageToNode(p, c.Region, k) {
+					staged = false
+					break
+				}
 			}
 		}
 	}
-	m.ep.AMMedium(p, k, amRunTask, t, taskDescBytes(t))
+	if !staged || rt.nodeIsDead(k) {
+		// Staging only fails when k itself is unreachable; declaring it
+		// dead (idempotently) requeues every task bound to it, this one
+		// included.
+		rt.nodeDead(k, "stage")
+		return
+	}
+	if !m.ep.AMMedium(p, k, amRunTask, t, taskDescBytes(t)) {
+		rt.nodeDead(k, "runTask")
+	}
 }
 
 // stageToNode makes node k hold the current version of r. Routes are:
 // master host -> k directly; a master GPU -> master host -> k; another
 // slave j -> k directly when SlaveToSlave is enabled, else j -> master -> k.
-func (rt *Runtime) stageToNode(p *sim.Proc, r memspace.Region, k int) {
+// Returns false only when k itself is unreachable; a failed source is
+// declared dead and the transfer re-routed around it.
+func (rt *Runtime) stageToNode(p *sim.Proc, r memspace.Region, k int) bool {
+	for {
+		ok, settled := rt.stageToNodeOnce(p, r, k)
+		if settled {
+			return ok
+		}
+		if rt.nodeIsDead(k) {
+			return false
+		}
+		// The attempt was disturbed by a fault (source died, or we
+		// piggybacked on a transfer that failed): wait out any rebuild of
+		// r, then re-evaluate from the directory.
+		rt.waitRestore(p, r)
+	}
+}
+
+func (rt *Runtime) stageToNodeOnce(p *sim.Proc, r memspace.Region, k int) (ok, settled bool) {
 	m := rt.master()
 	cl := rt.cluster()
 	key := netKey{addr: r.Addr, node: k}
 	if ev, busy := cl.netInflight[key]; busy {
 		ev.Wait(p)
-		return
+		// Without fault tolerance the transfer we piggybacked on always
+		// succeeded; with it, it may have failed — re-evaluate.
+		return true, rt.ft == nil
 	}
 	if m.dir.IsHolder(r, memspace.Host(k)) || !m.dir.Known(r) {
-		return
+		return true, true
+	}
+	if rt.nodeIsDead(k) {
+		return false, true
 	}
 	ev := sim.NewEvent(rt.e)
 	cl.netInflight[key] = ev
@@ -305,7 +414,7 @@ func (rt *Runtime) stageToNode(p *sim.Proc, r memspace.Region, k int) {
 		// Prefer a slave source: direct slave-to-slave transfers keep the
 		// master's TX free for control traffic and its own data.
 		for _, h := range holders {
-			if h.Node != 0 && h.IsHost() {
+			if h.Node != 0 && h.IsHost() && !rt.nodeIsDead(h.Node) {
 				src = h
 				break
 			}
@@ -319,52 +428,74 @@ func (rt *Runtime) stageToNode(p *sim.Proc, r memspace.Region, k int) {
 			}
 		}
 	}
-	if src.Node == 0 {
-		// From the master image (possibly via a D2H flush of a master GPU).
+	if src.Node == 0 || (src.Node != k && rt.nodeIsDead(src.Node)) {
+		// From the master image (possibly via a D2H flush of a master GPU;
+		// fetchToHost re-routes internally if a remote holder dies).
 		m.fetchToHost(p, r)
-		rt.sendMasterToNode(p, r, k)
-		return
+		return rt.sendMasterToNode(p, r, k), true
 	}
 	// Current version lives on slave src.Node.
 	if rt.cfg.SlaveToSlave {
-		id := rt.newXfer()
+		id := rt.newXfer(src.Node, k)
 		ack := cl.xferEvents[id]
 		start := p.Now()
-		m.ep.AMShort(p, src.Node, amPush, pushArgs{Region: r, Dest: k, XferID: id})
+		if !m.ep.AMShort(p, src.Node, amPush, pushArgs{Region: r, Dest: k, XferID: id}) {
+			rt.ackXfer(id)
+			rt.xferFailedTake(id)
+			rt.nodeDead(src.Node, "push")
+			return false, false
+		}
 		ack.Wait(p)
+		if rt.xferFailedTake(id) {
+			return false, false
+		}
 		rt.cfg.Trace.Record(trace.Span{Kind: trace.NetSend, Name: "s->s",
 			Node: src.Node, Dev: -1, Start: start, End: p.Now(), Bytes: r.Size})
 		rt.bytesStoS += r.Size
 		m.dir.AddHolder(r, memspace.Host(k))
-		return
+		return true, true
 	}
 	// Master-routed: pull to the master host, then send on.
 	m.fetchToHost(p, r)
-	rt.sendMasterToNode(p, r, k)
+	return rt.sendMasterToNode(p, r, k), true
 }
 
 // sendMasterToNode ships r from the master host store to node k and waits
 // for the acknowledgement so ordering with the subsequent runTask holds
-// even under retries.
-func (rt *Runtime) sendMasterToNode(p *sim.Proc, r memspace.Region, k int) {
+// even under retries. Returns false when k never acknowledged (it died or
+// exhausted the retry ladder).
+func (rt *Runtime) sendMasterToNode(p *sim.Proc, r memspace.Region, k int) bool {
 	m := rt.master()
 	cl := rt.cluster()
-	id := rt.newXfer()
+	id := rt.newXfer(0, k)
 	ack := cl.xferEvents[id]
 	start := p.Now()
-	m.ep.AMLong(p, k, amData, dataArgs{XferID: id}, r)
+	if !m.ep.AMLong(p, k, amData, dataArgs{XferID: id}, r) {
+		rt.ackXfer(id)
+		rt.xferFailedTake(id)
+		return false
+	}
 	ack.Wait(p)
+	if rt.xferFailedTake(id) {
+		return false
+	}
 	rt.cfg.Trace.Record(trace.Span{Kind: trace.NetSend, Name: "m->s",
 		Node: 0, Dev: -1, Start: start, End: p.Now(), Bytes: r.Size})
 	rt.bytesMtoS += r.Size
 	m.dir.AddHolder(r, memspace.Host(k))
+	return true
 }
 
-// newXfer allocates a transfer id with a pending ack event.
-func (rt *Runtime) newXfer() int64 {
+// newXfer allocates a transfer id with a pending ack event; src and dst
+// are the nodes moving the data, recorded so a peer's death can fail the
+// transfer and unblock its waiter.
+func (rt *Runtime) newXfer(src, dst int) int64 {
 	cl := rt.cluster()
 	cl.xferSeq++
 	cl.xferEvents[cl.xferSeq] = sim.NewEvent(rt.e)
+	if rt.ft != nil {
+		rt.ft.xferPeers[cl.xferSeq] = [2]int{src, dst}
+	}
 	return cl.xferSeq
 }
 
@@ -378,18 +509,34 @@ func (rt *Runtime) ackXfer(id int64) {
 	if ev, ok := cl.xferEvents[id]; ok {
 		ev.Trigger()
 		delete(cl.xferEvents, id)
+		if rt.ft != nil {
+			delete(rt.ft.xferPeers, id)
+		}
 	}
 }
 
 // pullToMaster fetches r (held by slave node j) into the master host.
-// Called with the master's host inflight key held.
-func (rt *Runtime) pullToMaster(p *sim.Proc, r memspace.Region, j int) {
+// Called with the master's host inflight key held. Returns false when j
+// died before the data arrived; the caller re-routes.
+func (rt *Runtime) pullToMaster(p *sim.Proc, r memspace.Region, j int) bool {
 	m := rt.master()
-	id := rt.newXfer()
+	if rt.nodeIsDead(j) {
+		return false
+	}
+	id := rt.newXfer(0, j)
 	ack := rt.cluster().xferEvents[id]
-	m.ep.AMShort(p, j, amFetch, fetchArgs{Region: r, XferID: id})
+	if !m.ep.AMShort(p, j, amFetch, fetchArgs{Region: r, XferID: id}) {
+		rt.ackXfer(id)
+		rt.xferFailedTake(id)
+		rt.nodeDead(j, "fetch")
+		return false
+	}
 	ack.Wait(p) // the amData handler adds Host(0) as holder
+	if rt.xferFailedTake(id) {
+		return false
+	}
 	rt.bytesMtoS += r.Size
+	return true
 }
 
 // registerSlaveHandlers installs the slave image's protocol (Section
@@ -398,10 +545,23 @@ func (rt *Runtime) pullToMaster(p *sim.Proc, r memspace.Region, j int) {
 func (n *nodeRT) registerSlaveHandlers() {
 	n.ep.Register(amRunTask, func(p *sim.Proc, am gasnet.AM) {
 		t := am.Args.(*task.Task)
-		n.enqueueLocal(t, func(cp *sim.Proc, ft *task.Task, place int) {
-			n.ep.AMShort(cp, 0, amTaskDone, doneArgs{Task: ft, Node: n.id})
+		n.enqueueLocal(t, func(cp *sim.Proc, done *task.Task, place int) {
+			if n.rt.ft != nil {
+				// Reliable sends block for the ack round-trip (and any
+				// retries); detach so the worker can take its next task.
+				n.rt.e.Go(fmt.Sprintf("taskDone:%s", done.Name), func(dp *sim.Proc) {
+					n.ep.AMShort(dp, 0, amTaskDone, doneArgs{Task: done, Node: n.id})
+				})
+				return
+			}
+			n.ep.AMShort(cp, 0, amTaskDone, doneArgs{Task: done, Node: n.id})
 		})
 	})
+	if n.rt.ft != nil {
+		n.ep.Register(amPing, func(p *sim.Proc, am gasnet.AM) {
+			n.ep.AMProbe(p, 0, amPong, nil)
+		})
+	}
 	n.ep.Register(amData, func(p *sim.Proc, am gasnet.AM) {
 		// Fresh data arriving at this node's host: it becomes the node's
 		// current local version, invalidating stale GPU copies.

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"github.com/bsc-repro/ompss/internal/coherence"
+	"github.com/bsc-repro/ompss/internal/faults"
 	"github.com/bsc-repro/ompss/internal/hw"
 	"github.com/bsc-repro/ompss/internal/sched"
 	"github.com/bsc-repro/ompss/internal/trace"
@@ -102,6 +103,14 @@ type Config struct {
 	// it from the node spec (cores minus one per GPU manager minus one
 	// runtime thread).
 	CPUWorkers int
+
+	// Faults, when non-nil, arms the fault-injection and fault-tolerance
+	// machinery: the plan's seeded injector perturbs the fabric, active
+	// messages gain ack/timeout/retry, the master runs a heartbeat failure
+	// detector, and work lost to dead nodes is re-executed on survivors
+	// (see internal/faults). Nil leaves every code path bit-identical to a
+	// runtime without the subsystem.
+	Faults *faults.Plan
 }
 
 // withDefaults fills zero values and validates.
@@ -183,6 +192,15 @@ type Stats struct {
 
 	// TasksPerNode counts tasks executed on each node (SMP + CUDA).
 	TasksPerNode []int
+
+	// Fault tolerance (all zero unless Config.Faults was set).
+	FaultDropsInjected int     // messages the injector lost or blackholed
+	NetMsgsDropped     int     // undelivered messages as seen by the fabric
+	NetRetries         int     // reliable-AM retransmissions
+	HeartbeatMisses    int     // failure-detector probe misses
+	DeadNodes          int     // nodes declared dead
+	TasksReexecuted    int     // tasks re-run on survivors during recovery
+	RecoverySeconds    float64 // virtual time from first death to last rebuild
 }
 
 // Utilization returns average GPU compute utilization in [0,1].

@@ -204,7 +204,7 @@ func (n *nodeRT) runSMP(p *sim.Proc, t *task.Task) {
 	n.registerReduction(t)
 	copies := t.Copies()
 	// Inputs must be valid in host memory (SMP tasks use copy clauses too).
-	n.stageRegions(p, copies, hostDevKey)
+	n.stageRegions(p, t, hostDevKey)
 	runStart := p.Now()
 	p.Sleep(n.jitter(t.ID, t.Work.CPUCost(n.spec)))
 	n.rt.cfg.Trace.Record(trace.Span{Kind: trace.TaskRun, Name: t.Name,
@@ -273,7 +273,7 @@ func (n *nodeRT) gpuManagerLoop(p *sim.Proc, g int) {
 			p.Sleep(taskOverhead)
 			n.registerReduction(t)
 			stageStart := p.Now()
-			n.stageRegions(p, t.Copies(), g)
+			n.stageRegions(p, t, g)
 			if p.Now() > stageStart {
 				n.rt.cfg.Trace.Record(trace.Span{Kind: trace.Stage, Name: t.Name,
 					Node: n.id, Dev: g, Start: stageStart, End: p.Now()})
@@ -292,7 +292,7 @@ func (n *nodeRT) gpuManagerLoop(p *sim.Proc, g int) {
 			// Once a kernel is launched, request the next task and start
 			// moving its data so it is resident by the time it can run.
 			if nt := n.sch.Pop(place); nt != nil {
-				if n.tryStage(p, nt.Copies(), g) {
+				if n.tryStage(p, nt, g) {
 					n.prefetched[g] = nt
 				} else {
 					// Not enough free memory alongside the running task:
@@ -419,8 +419,8 @@ func (n *nodeRT) produced(r memspace.Region, loc memspace.Location) {
 // stageRegions makes every copy region of a task valid at the destination
 // (GPU g, or the host when g == hostDevKey), pinning GPU lines. With the
 // non-blocking cache the transfers run concurrently.
-func (n *nodeRT) stageRegions(p *sim.Proc, copies []task.Dep, g int) {
-	if !n.tryStageInner(p, copies, g, false) {
+func (n *nodeRT) stageRegions(p *sim.Proc, t *task.Task, g int) {
+	if !n.tryStageInner(p, t, g, false) {
 		loc := "host"
 		if g != hostDevKey {
 			loc = n.caches[g].Location().String()
@@ -431,14 +431,22 @@ func (n *nodeRT) stageRegions(p *sim.Proc, copies []task.Dep, g int) {
 
 // tryStage is stageRegions for prefetch: returns false instead of
 // panicking when space cannot be made.
-func (n *nodeRT) tryStage(p *sim.Proc, copies []task.Dep, g int) bool {
-	return n.tryStageInner(p, copies, g, true)
+func (n *nodeRT) tryStage(p *sim.Proc, t *task.Task, g int) bool {
+	return n.tryStageInner(p, t, g, true)
 }
 
-func (n *nodeRT) tryStageInner(p *sim.Proc, copies []task.Dep, g int, soft bool) bool {
-	merged := mergeCopies(copies)
+func (n *nodeRT) tryStageInner(p *sim.Proc, t *task.Task, g int, soft bool) bool {
+	merged := mergeCopies(t.Copies())
+	// On the master, a region whose lost version is being rebuilt lists
+	// the master host as holder of a stale base; staging must wait out the
+	// rebuild. The replayed producers themselves are exempt — that base is
+	// exactly the input their re-run needs.
+	fence := n.isMaster() && n.rt.ft != nil && !n.rt.isRecoveryTask(t)
 	if g == hostDevKey {
 		for _, c := range merged {
+			if fence && c.Access.Reads() {
+				n.rt.waitRestore(p, c.Region)
+			}
 			if c.Access == task.Red {
 				// SMP reduction tasks accumulate straight into the host
 				// copy, which must be valid — but other participants'
@@ -507,6 +515,9 @@ func (n *nodeRT) tryStageInner(p *sim.Proc, copies []task.Dep, g int, soft bool)
 			j := j
 			done := sim.NewEvent(n.rt.e)
 			n.rt.e.Go("stage", func(sp *sim.Proc) {
+				if fence {
+					n.rt.waitRestore(sp, j.r)
+				}
 				n.fetchToGPU(sp, g, j.r)
 				done.Trigger()
 			})
@@ -518,6 +529,9 @@ func (n *nodeRT) tryStageInner(p *sim.Proc, copies []task.Dep, g int, soft bool)
 	} else {
 		for _, j := range jobs {
 			if j.fetch {
+				if fence {
+					n.rt.waitRestore(p, j.r)
+				}
 				n.fetchToGPU(p, g, j.r)
 			}
 		}
@@ -619,17 +633,31 @@ func (n *nodeRT) fetchToHost(p *sim.Proc, r memspace.Region) {
 }
 
 func (n *nodeRT) fetchToHostInner(p *sim.Proc, r memspace.Region, combine bool) {
+	for {
+		if n.fetchToHostOnce(p, r, combine) {
+			return
+		}
+		// A holder died mid-pull (or we piggybacked on a transfer that
+		// failed): wait out any rebuild of r, then retry against the
+		// updated directory.
+		n.rt.waitRestore(p, r)
+	}
+}
+
+func (n *nodeRT) fetchToHostOnce(p *sim.Proc, r memspace.Region, combine bool) bool {
 	host := memspace.Host(n.id)
 	key := inflightKey{addr: r.Addr, dev: hostDevKey}
 	if ev, busy := n.inflight[key]; busy {
 		ev.Wait(p)
-		return
+		// Without fault tolerance the fetch we piggybacked on always
+		// succeeded; with it, it may have failed — re-evaluate.
+		return n.rt.ft == nil
 	}
 	if combine && len(n.redPartials[r.Addr]) > 0 {
 		n.combineReduction(p, r)
 	}
 	if n.dir.IsHolder(r, host) || !n.dir.Known(r) {
-		return
+		return true
 	}
 	ev := sim.NewEvent(n.rt.e)
 	n.inflight[key] = ev
@@ -645,14 +673,14 @@ func (n *nodeRT) fetchToHostInner(p *sim.Proc, r memspace.Region, combine bool) 
 			n.caches[h.Dev].Clean(r)
 			n.dir.AddHolder(r, host)
 			n.rt.writebacks++
-			return
+			return true
 		}
 	}
 	if !n.isMaster() {
 		panic(fmt.Sprintf("core: node %d asked to fetch %v it does not hold", n.id, r))
 	}
 	// Remote holder: pull across the network (cluster layer).
-	n.rt.pullToMaster(p, r, holders[0].Node)
+	return n.rt.pullToMaster(p, r, holders[0].Node)
 }
 
 // DebugPlacement toggles placement tracing (development only).

@@ -43,6 +43,10 @@ type Runtime struct {
 	// place k is node k, place 0 the master node itself.
 	clSch sched.Scheduler
 
+	// ft is the fault-injection/fault-tolerance state (nil unless
+	// Config.Faults is set; every fault path is gated on it).
+	ft *ftState
+
 	stopped bool
 }
 
@@ -66,6 +70,9 @@ func New(cfg Config) *Runtime {
 		// paper's runtime does not steal between slave nodes (III.D.1), and
 		// cluster-level steals would migrate a task's data with it.
 		rt.clSch = sched.New(cfg.Scheduler, len(rt.nodes), rt.clusterScore, false, rt.clusterCanRun)
+	}
+	if cfg.Faults != nil {
+		rt.armFaultTolerance()
 	}
 	rt.graph = depgraph.New(rt.onReady)
 	rt.idleEvt = sim.NewEvent(e)
@@ -170,6 +177,9 @@ func (rt *Runtime) Run(main func(mc *MainCtx)) (Stats, error) {
 	}
 	if len(rt.nodes) > 1 {
 		rt.spawnCommThread()
+		if rt.ft != nil {
+			rt.spawnHeartbeat()
+		}
 	}
 	rt.e.Go("main", func(p *sim.Proc) {
 		mc := &MainCtx{rt: rt, p: p}
@@ -189,6 +199,9 @@ func (rt *Runtime) shutdown(p *sim.Proc) {
 	}
 	if len(rt.nodes) > 1 {
 		for k := 1; k < len(rt.nodes); k++ {
+			if rt.nodeIsDead(k) {
+				continue // its workers were stopped above; no peer to notify
+			}
 			rt.master().ep.AMShort(p, k, amShutdown, nil)
 		}
 		// Close endpoints after the shutdown notices drain.
@@ -290,6 +303,7 @@ func (mc *MainCtx) TaskWaitOn(r memspace.Region) {
 		}
 		ev.Wait(mc.p)
 	}
+	rt.waitRestore(mc.p, r)
 	rt.master().fetchToHost(mc.p, r)
 }
 
@@ -300,12 +314,16 @@ func (rt *Runtime) flushAll(p *sim.Proc) {
 	regions := m.dir.Regions()
 	var wait []*sim.Event
 	for _, r := range regions {
-		if m.dir.IsHolder(r, memspace.Host(0)) && len(m.redPartials[r.Addr]) == 0 {
+		if m.dir.IsHolder(r, memspace.Host(0)) && len(m.redPartials[r.Addr]) == 0 &&
+			!rt.restorePending(r) {
 			continue
 		}
 		r := r
 		done := sim.NewEvent(rt.e)
 		rt.e.Go("flush", func(fp *sim.Proc) {
+			// A region under rebuild nominally lists the master as holder
+			// (its stale base); wait for the real version first.
+			rt.waitRestore(fp, r)
 			m.fetchToHost(fp, r)
 			done.Trigger()
 		})
@@ -324,6 +342,17 @@ func (rt *Runtime) collectStats() Stats {
 		BytesMtoS:      rt.bytesMtoS,
 		BytesStoS:      rt.bytesStoS,
 		TasksRemote:    rt.remoteRun,
+	}
+	if rt.ft != nil {
+		is := rt.ft.inj.Stats()
+		s.FaultDropsInjected = is.Drops + is.CrashDrops
+		s.NetRetries = rt.ft.retries
+		s.HeartbeatMisses = rt.ft.hbMisses
+		s.DeadNodes = rt.ft.deadCount
+		s.TasksReexecuted = rt.ft.reexecs
+		if rt.ft.haveRecovered {
+			s.RecoverySeconds = (rt.ft.recoverEnd - rt.ft.recoverStart).Seconds()
+		}
 	}
 	for _, n := range rt.nodes {
 		s.TasksPerNode = append(s.TasksPerNode, n.tasksSMP+n.tasksCUDA)
@@ -345,6 +374,7 @@ func (rt *Runtime) collectStats() Stats {
 		fs := rt.fabric.Iface(n.id).Stats()
 		s.NetBytes += fs.BytesSent
 		s.NetMsgs += fs.MsgsSent
+		s.NetMsgsDropped += fs.MsgsDropped
 	}
 	return s
 }

@@ -18,6 +18,13 @@ import (
 // headerBytes is the modeled wire size of AM headers and control arguments.
 const headerBytes = 64
 
+// ackBytes is the modeled wire size of a reliability acknowledgment.
+const ackBytes = 16
+
+// ackHandler is the reserved handler name of wire-level acks. They are
+// consumed by the dispatcher itself and never reach user handlers.
+const ackHandler = "__gasnet_ack"
+
 // AM is a delivered active message as seen by a handler.
 type AM struct {
 	From    int
@@ -36,22 +43,87 @@ type Handler func(p *sim.Proc, am AM)
 type wireAM struct {
 	am       AM
 	srcStore *memspace.Store // for AMLong byte delivery
+
+	// Reliability envelope: seq is a per-(sender,destination) sequence
+	// number; needAck asks the receiving dispatcher to send a wire-level
+	// ack and dedup on (sender, seq).
+	seq     uint64
+	needAck bool
+}
+
+// Reliability configures the ack/timeout/retry layer of an endpoint. With
+// it enabled, AMShort/AMMedium/AMLong retransmit until acknowledged (with
+// exponential backoff) and report success; receivers acknowledge and
+// deduplicate by sequence number, so handlers still run exactly once per
+// logical message even when the wire drops packets or delivers late
+// duplicates.
+type Reliability struct {
+	// AckTimeout is how long the first transmission waits for its ack;
+	// each retry doubles it.
+	AckTimeout sim.Duration
+	// MaxAttempts bounds the number of transmissions before a send gives
+	// up and returns false.
+	MaxAttempts int
+	// OnRetry, if set, is called before every retransmission.
+	OnRetry func(to int, handler string, attempt int)
+	// OnGiveUp, if set, is called when MaxAttempts transmissions all went
+	// unacknowledged.
+	OnGiveUp func(to int, handler string)
+	// OnDuplicate, if set, is called on the receiving endpoint when a
+	// duplicate delivery is suppressed.
+	OnDuplicate func(from int, handler string)
+}
+
+type ackKey struct {
+	node int // peer node id
+	seq  uint64
 }
 
 // Endpoint is one node's attachment to the fabric.
 type Endpoint struct {
 	f        *netsim.Fabric
+	e        *sim.Engine
 	node     int
 	handlers map[string]Handler
 	store    *memspace.Store // host store of this node; may be nil
 	started  bool
+	closed   bool
+
+	rel      *Reliability
+	seqTo    map[int]uint64        // next sequence number per destination
+	pending  map[ackKey]*sim.Event // in-flight reliable sends awaiting ack
+	seen     map[ackKey]bool       // delivered (sender, seq) pairs, for dedup
+	inFilter func(from int) bool   // nil, or inbound admission predicate
 }
 
 // NewEndpoint returns an endpoint for node on fabric f. store is the node's
 // host backing store (nil in cost-only mode).
 func NewEndpoint(f *netsim.Fabric, node int, store *memspace.Store) *Endpoint {
-	return &Endpoint{f: f, node: node, handlers: make(map[string]Handler), store: store}
+	return &Endpoint{f: f, e: f.Engine(), node: node, handlers: make(map[string]Handler), store: store}
 }
+
+// EnableReliability arms the ack/timeout/retry layer. Must be called
+// before Start, and on every endpoint that exchanges reliable traffic —
+// both sides must speak the protocol.
+func (ep *Endpoint) EnableReliability(rel Reliability) {
+	if ep.started {
+		panic("gasnet: EnableReliability after Start")
+	}
+	if rel.AckTimeout <= 0 || rel.MaxAttempts <= 0 {
+		panic("gasnet: Reliability needs positive AckTimeout and MaxAttempts")
+	}
+	ep.rel = &rel
+	ep.seqTo = make(map[int]uint64)
+	ep.pending = make(map[ackKey]*sim.Event)
+	ep.seen = make(map[ackKey]bool)
+}
+
+// SetInboundFilter installs a predicate consulted for every delivered AM.
+// Messages from senders it rejects are still acknowledged (stopping the
+// sender's retransmission) but not dispatched — the fence the runtime puts
+// around nodes it has declared dead, so their stale traffic cannot corrupt
+// cluster state.
+func (ep *Endpoint) SetInboundFilter(f func(from int) bool) { ep.inFilter = f }
 
 // Node returns this endpoint's node id.
 func (ep *Endpoint) Node() int { return ep.node }
@@ -90,6 +162,33 @@ func (ep *Endpoint) Start(e *sim.Engine) {
 			if !isAM {
 				panic(fmt.Sprintf("gasnet: foreign message on node %d inbox", ep.node))
 			}
+			if w.am.Handler == ackHandler {
+				// Wire-level ack: complete the matching reliable send.
+				if ack, waiting := ep.pending[ackKey{w.am.From, w.seq}]; waiting {
+					ack.Trigger()
+				}
+				continue
+			}
+			if w.needAck {
+				// Acknowledge before dispatching: the ack covers delivery,
+				// not handler completion, and must go out even for
+				// duplicates (the original ack may have been the loss).
+				ep.sendAck(p, w.am.From, w.seq)
+				if ep.seen == nil { // reliable sender, plain receiver
+					ep.seen = make(map[ackKey]bool)
+				}
+				k := ackKey{w.am.From, w.seq}
+				if ep.seen[k] {
+					if ep.rel != nil && ep.rel.OnDuplicate != nil {
+						ep.rel.OnDuplicate(w.am.From, w.am.Handler)
+					}
+					continue
+				}
+				ep.seen[k] = true
+			}
+			if ep.inFilter != nil && !ep.inFilter(w.am.From) {
+				continue
+			}
 			h, known := ep.handlers[w.am.Handler]
 			if !known {
 				panic(fmt.Sprintf("gasnet: node %d has no handler %q", ep.node, w.am.Handler))
@@ -106,30 +205,48 @@ func (ep *Endpoint) Start(e *sim.Engine) {
 }
 
 // Shutdown closes the endpoint's inbox, terminating its dispatcher once
-// drained.
+// drained. Reliable sends still in their retry loop observe the closed
+// flag and abort at their next timeout instead of exhausting the ladder.
 func (ep *Endpoint) Shutdown() {
+	ep.closed = true
 	ep.f.Iface(ep.node).Inbox().Close()
 }
 
+// sendAck emits the wire-level acknowledgment for (peer, seq). Acks are
+// control datagrams: tiny, non-occupying, best-effort — a lost ack is
+// repaired by the sender's retransmission and the receiver's dedup.
+func (ep *Endpoint) sendAck(p *sim.Proc, to int, seq uint64) {
+	ep.f.Send(p, netsim.Message{
+		From: ep.node, To: to, Size: ackBytes, Control: true,
+		Payload: wireAM{
+			am:  AM{From: ep.node, To: to, Handler: ackHandler},
+			seq: seq,
+		},
+	})
+}
+
 // AMShort sends a control-only active message; the caller blocks for the
-// sender-side cost.
-func (ep *Endpoint) AMShort(p *sim.Proc, to int, handler string, args interface{}) {
-	ep.send(p, to, handler, args, memspace.Region{}, 0)
+// sender-side cost. With reliability enabled the call blocks until the
+// message is acknowledged (retrying as needed) and reports success; on a
+// perfect fabric it always returns true.
+func (ep *Endpoint) AMShort(p *sim.Proc, to int, handler string, args interface{}) bool {
+	return ep.send(p, to, handler, args, memspace.Region{}, 0)
 }
 
 // AMMedium sends an active message carrying bytes of opaque payload.
-func (ep *Endpoint) AMMedium(p *sim.Proc, to int, handler string, args interface{}, bytes uint64) {
-	ep.send(p, to, handler, args, memspace.Region{}, bytes)
+func (ep *Endpoint) AMMedium(p *sim.Proc, to int, handler string, args interface{}, bytes uint64) bool {
+	return ep.send(p, to, handler, args, memspace.Region{}, bytes)
 }
 
 // AMLong sends an active message carrying the bytes of region r from this
 // node's host store into the destination's host store.
-func (ep *Endpoint) AMLong(p *sim.Proc, to int, handler string, args interface{}, r memspace.Region) {
-	ep.send(p, to, handler, args, r, r.Size)
+func (ep *Endpoint) AMLong(p *sim.Proc, to int, handler string, args interface{}, r memspace.Region) bool {
+	return ep.send(p, to, handler, args, r, r.Size)
 }
 
 // AMLongAsync is AMLong initiated from a spawned process; the returned
-// event triggers when the message has been delivered.
+// event triggers when the message has been delivered. It is fire-and-forget
+// and does not participate in the reliability protocol.
 func (ep *Endpoint) AMLongAsync(to int, handler string, args interface{}, r memspace.Region) *sim.Event {
 	return ep.f.SendAsync(netsim.Message{
 		From: ep.node, To: to, Size: headerBytes + r.Size,
@@ -140,12 +257,58 @@ func (ep *Endpoint) AMLongAsync(to int, handler string, args interface{}, r mems
 	})
 }
 
-func (ep *Endpoint) send(p *sim.Proc, to int, handler string, args interface{}, r memspace.Region, bytes uint64) {
+// AMProbe sends a best-effort control datagram: no ack, no retry, no TX/RX
+// occupancy. The heartbeat primitive — a probe that could queue behind a
+// bulk transfer or grow a retry ladder would measure the protocol instead
+// of the peer.
+func (ep *Endpoint) AMProbe(p *sim.Proc, to int, handler string, args interface{}) {
 	ep.f.Send(p, netsim.Message{
+		From: ep.node, To: to, Size: headerBytes, Control: true,
+		Payload: wireAM{
+			am: AM{From: ep.node, To: to, Handler: handler, Args: args},
+		},
+	})
+}
+
+func (ep *Endpoint) send(p *sim.Proc, to int, handler string, args interface{}, r memspace.Region, bytes uint64) bool {
+	m := netsim.Message{
 		From: ep.node, To: to, Size: headerBytes + bytes,
 		Payload: wireAM{
 			am:       AM{From: ep.node, To: to, Handler: handler, Args: args, Region: r, Bytes: bytes},
 			srcStore: ep.store,
 		},
-	})
+	}
+	if ep.rel == nil || to == ep.node {
+		ep.f.Send(p, m)
+		return true
+	}
+	ep.seqTo[to]++
+	seq := ep.seqTo[to]
+	w := m.Payload.(wireAM)
+	w.seq, w.needAck = seq, true
+	m.Payload = w
+	key := ackKey{to, seq}
+	ack := sim.NewEvent(ep.e)
+	ep.pending[key] = ack
+	defer delete(ep.pending, key)
+	timeout := ep.rel.AckTimeout
+	for attempt := 1; ; attempt++ {
+		if ep.closed {
+			return false
+		}
+		if attempt > 1 && ep.rel.OnRetry != nil {
+			ep.rel.OnRetry(to, handler, attempt)
+		}
+		ep.f.Send(p, m)
+		if ack.WaitFor(p, timeout) {
+			return true
+		}
+		if attempt >= ep.rel.MaxAttempts || ep.closed {
+			if ep.rel.OnGiveUp != nil {
+				ep.rel.OnGiveUp(to, handler)
+			}
+			return false
+		}
+		timeout *= 2
+	}
 }

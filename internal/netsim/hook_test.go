@@ -1,0 +1,160 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"github.com/bsc-repro/ompss/internal/sim"
+)
+
+// scriptHook returns a fixed verdict per send and can veto deliveries.
+type scriptHook struct {
+	verdict   Verdict
+	vetoAfter sim.Time // deliveries at or after this time are vetoed (0 = never)
+	sends     int
+	delivers  int
+}
+
+func (h *scriptHook) FilterSend(now sim.Time, m Message) Verdict {
+	h.sends++
+	return h.verdict
+}
+
+func (h *scriptHook) FilterDeliver(now sim.Time, m Message) bool {
+	h.delivers++
+	return h.vetoAfter == 0 || now < h.vetoAfter
+}
+
+func TestHookDropChargesWireButNotReceiver(t *testing.T) {
+	e := sim.NewEngine()
+	f := New(e, testNet(), 2)
+	h := &scriptHook{verdict: Verdict{Drop: true}}
+	f.SetHook(h)
+	var sendCost sim.Time
+	e.Go("send", func(p *sim.Proc) {
+		start := p.Now()
+		f.Send(p, Message{From: 0, To: 1, Size: 1_000_000})
+		sendCost = p.Now() - start
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The loss happens on the wire: the sender pays overhead+serialization.
+	if want := sim.Time(time.Microsecond + time.Millisecond); sendCost != want {
+		t.Fatalf("send cost = %v, want %v", sendCost, want)
+	}
+	if h.sends != 1 || h.delivers != 0 {
+		t.Fatalf("hook calls = %d/%d, want 1 send, 0 deliver", h.sends, h.delivers)
+	}
+	st := f.Iface(0).Stats()
+	if st.MsgsDropped != 1 || st.MsgsSent != 1 {
+		t.Fatalf("sender stats = %+v", st)
+	}
+	if got := f.Iface(1).Stats().MsgsReceived; got != 0 {
+		t.Fatalf("receiver got %d messages", got)
+	}
+	if f.Iface(1).Inbox().Len() != 0 {
+		t.Fatal("dropped message reached the inbox")
+	}
+}
+
+func TestHookLatencyAndSerializationMultipliers(t *testing.T) {
+	e := sim.NewEngine()
+	f := New(e, testNet(), 2)
+	f.SetHook(&scriptHook{verdict: Verdict{LatencyMult: 4, SerMult: 2}})
+	var delivered sim.Time
+	e.Go("recv", func(p *sim.Proc) {
+		f.Iface(1).Inbox().Get(p)
+		delivered = p.Now()
+	})
+	e.Go("send", func(p *sim.Proc) {
+		f.Send(p, Message{From: 0, To: 1, Size: 1_000_000})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// overhead + 2x serialization (1MB at 1GB/s doubled) + 4x latency.
+	want := sim.Time(time.Microsecond + 2*time.Millisecond + 40*time.Microsecond)
+	if delivered != want {
+		t.Fatalf("delivered at %v, want %v", delivered, want)
+	}
+}
+
+func TestHookHoldUntilDefersDelivery(t *testing.T) {
+	e := sim.NewEngine()
+	f := New(e, testNet(), 2)
+	holdUntil := sim.Time(5 * time.Millisecond)
+	f.SetHook(&scriptHook{verdict: Verdict{HoldUntil: holdUntil}})
+	var delivered sim.Time
+	e.Go("recv", func(p *sim.Proc) {
+		f.Iface(1).Inbox().Get(p)
+		delivered = p.Now()
+	})
+	e.Go("send", func(p *sim.Proc) {
+		f.Send(p, Message{From: 0, To: 1, Size: 100})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != holdUntil {
+		t.Fatalf("delivered at %v, want held until %v", delivered, holdUntil)
+	}
+}
+
+func TestHookDeliverVetoCountsOnReceiver(t *testing.T) {
+	e := sim.NewEngine()
+	f := New(e, testNet(), 2)
+	f.SetHook(&scriptHook{vetoAfter: 1}) // veto every delivery
+	e.Go("send", func(p *sim.Proc) {
+		f.Send(p, Message{From: 0, To: 1, Size: 100})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Iface(1).Stats().MsgsDropped; got != 1 {
+		t.Fatalf("receiver MsgsDropped = %d, want 1", got)
+	}
+	if f.Iface(1).Inbox().Len() != 0 {
+		t.Fatal("vetoed message reached the inbox")
+	}
+}
+
+func TestHookSkipsLoopback(t *testing.T) {
+	e := sim.NewEngine()
+	f := New(e, testNet(), 2)
+	h := &scriptHook{verdict: Verdict{Drop: true}}
+	f.SetHook(h)
+	e.Go("send", func(p *sim.Proc) {
+		f.Send(p, Message{From: 0, To: 0, Size: 100})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if h.sends != 0 {
+		t.Fatal("hook consulted for loopback")
+	}
+	if f.Iface(0).Inbox().Len() != 1 {
+		t.Fatal("loopback message not delivered")
+	}
+}
+
+func TestControlMessageStillFiltered(t *testing.T) {
+	// Control datagrams bypass TX/RX occupancy but not the fault hook —
+	// heartbeat probes must be droppable.
+	e := sim.NewEngine()
+	f := New(e, testNet(), 2)
+	h := &scriptHook{verdict: Verdict{Drop: true}}
+	f.SetHook(h)
+	e.Go("send", func(p *sim.Proc) {
+		f.Send(p, Message{From: 0, To: 1, Size: 64, Control: true})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if h.sends != 1 {
+		t.Fatal("hook not consulted for control message")
+	}
+	if f.Iface(1).Inbox().Len() != 0 {
+		t.Fatal("dropped control message delivered")
+	}
+}

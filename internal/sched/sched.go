@@ -51,6 +51,11 @@ type Scheduler interface {
 	Submit(t *task.Task, releasedBy int)
 	// Pop removes and returns a task the given place can run, or nil.
 	Pop(place int) *task.Task
+	// Drain removes and returns every task queued specifically for the
+	// given place (nil for policies without place-bound queues, whose
+	// tasks any surviving place will pop anyway). The fault-tolerant
+	// runtime drains a dead place to resubmit its work elsewhere.
+	Drain(place int) []*task.Task
 	// Len returns the number of queued tasks.
 	Len() int
 }
@@ -144,6 +149,8 @@ func (s *bfSched) Pop(place int) *task.Task {
 	return popFront(&s.fifo, func(t *task.Task) bool { return s.canRun(place, t) })
 }
 
+func (s *bfSched) Drain(place int) []*task.Task { return nil }
+
 func (s *bfSched) Len() int { return liveLen(s.fifo) }
 
 // depSched: FIFO plus per-place successor lists.
@@ -172,6 +179,13 @@ func (s *depSched) Pop(place int) *task.Task {
 		return t
 	}
 	return popFront(&s.fifo, pred)
+}
+
+// Drain forgets the dead place's successor hints; the entries stay live in
+// the shared FIFO, where any surviving place pops them.
+func (s *depSched) Drain(place int) []*task.Task {
+	delete(s.perPlace, place)
+	return nil
 }
 
 func (s *depSched) Len() int { return liveLen(s.fifo) }
@@ -242,6 +256,23 @@ func (s *affSched) Pop(place int) *task.Task {
 		return nil
 	}
 	return popBack(&s.local[victim], pred)
+}
+
+// Drain takes every live task queued locally at place, in queue order.
+// Affinity is the one policy whose tasks can strand on a dead place.
+func (s *affSched) Drain(place int) []*task.Task {
+	if place < 0 || place >= s.places {
+		return nil
+	}
+	var out []*task.Task
+	for _, e := range s.local[place] {
+		if !e.taken {
+			e.taken = true
+			out = append(out, e.t)
+		}
+	}
+	s.local[place] = nil
+	return out
 }
 
 func (s *affSched) Len() int {

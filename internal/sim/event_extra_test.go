@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestOnTriggerRunsAtTriggerTime(t *testing.T) {
+	e := NewEngine()
+	ev := NewEvent(e)
+	var firedAt Time
+	fired := 0
+	ev.OnTrigger(func() { fired++; firedAt = e.Now() })
+	e.Go("trigger", func(p *Proc) {
+		p.Sleep(3 * time.Millisecond)
+		ev.Trigger()
+		ev.Trigger() // double trigger stays a no-op for subscribers too
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("callback ran %d times", fired)
+	}
+	if firedAt != Time(3*time.Millisecond) {
+		t.Fatalf("callback at %v, want 3ms", firedAt)
+	}
+}
+
+func TestOnTriggerAfterTriggerRunsImmediately(t *testing.T) {
+	e := NewEngine()
+	ev := NewEvent(e)
+	fired := false
+	e.Go("main", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		ev.Trigger()
+		ev.OnTrigger(func() { fired = true })
+		p.Sleep(time.Microsecond) // let the scheduled callback run
+		if !fired {
+			t.Error("late subscriber not scheduled")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitForTimesOut(t *testing.T) {
+	e := NewEngine()
+	ev := NewEvent(e)
+	e.Go("main", func(p *Proc) {
+		start := p.Now()
+		if ev.WaitFor(p, 500*time.Microsecond) {
+			t.Error("WaitFor true without a trigger")
+		}
+		if got := p.Now() - start; got != Time(500*time.Microsecond) {
+			t.Errorf("timed out after %v, want 500us", got)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitForSeesEarlyTrigger(t *testing.T) {
+	e := NewEngine()
+	ev := NewEvent(e)
+	e.Go("trigger", func(p *Proc) {
+		p.Sleep(100 * time.Microsecond)
+		ev.Trigger()
+	})
+	e.Go("main", func(p *Proc) {
+		start := p.Now()
+		if !ev.WaitFor(p, time.Second) {
+			t.Error("WaitFor false despite trigger")
+		}
+		if got := p.Now() - start; got != Time(100*time.Microsecond) {
+			t.Errorf("woke after %v, want 100us", got)
+		}
+		// Already-triggered events return immediately.
+		if !ev.WaitFor(p, time.Nanosecond) {
+			t.Error("WaitFor false on a triggered event")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueTryPut(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[int](e)
+	if !q.TryPut(7) {
+		t.Fatal("TryPut failed on an open queue")
+	}
+	e.Go("main", func(p *Proc) {
+		v, ok := q.Get(p)
+		if !ok || v != 7 {
+			t.Errorf("Get = %d/%v", v, ok)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+	if q.TryPut(8) {
+		t.Fatal("TryPut succeeded on a closed queue")
+	}
+	// Put on a closed queue still panics; TryPut is the graceful path.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Put on closed queue should panic")
+		}
+	}()
+	q.Put(9)
+}

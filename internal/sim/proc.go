@@ -90,6 +90,7 @@ type Event struct {
 	e         *Engine
 	triggered bool
 	waiters   []*Proc
+	subs      []func()
 }
 
 // NewEvent returns an untriggered Event on engine e.
@@ -116,6 +117,39 @@ func (ev *Event) Trigger() {
 		ev.e.scheduleWakeLocked(w, ev.e.Now())
 	}
 	ev.waiters = nil
+	for _, fn := range ev.subs {
+		ev.e.scheduleLocked(ev.e.Now(), true, fn)
+	}
+	ev.subs = nil
+}
+
+// OnTrigger schedules fn as a bare callback when the event fires (behind
+// events already pending at the trigger time). If the event has already
+// triggered, fn is scheduled at the current time.
+func (ev *Event) OnTrigger(fn func()) {
+	ev.e.mu.Lock()
+	defer ev.e.mu.Unlock()
+	if ev.triggered {
+		ev.e.scheduleLocked(ev.e.Now(), true, fn)
+		return
+	}
+	ev.subs = append(ev.subs, fn)
+}
+
+// WaitFor blocks the calling process until the event triggers or virtual
+// duration d elapses, whichever comes first, and reports whether the event
+// has triggered. A process has a single buffered wake-up slot, so the
+// timeout is built from an auxiliary one-shot event fed by both sources
+// rather than a second direct wake.
+func (ev *Event) WaitFor(p *Proc, d Duration) bool {
+	if ev.Triggered() {
+		return true
+	}
+	fire := NewEvent(ev.e)
+	ev.OnTrigger(fire.Trigger)
+	ev.e.After(d, fire.Trigger)
+	fire.Wait(p)
+	return ev.Triggered()
 }
 
 // Wait blocks the calling process until the event triggers. Returns

@@ -32,19 +32,29 @@ func (q *Queue[T]) Len() int {
 // Safe to call from processes or bare callbacks. Panics if the queue is
 // closed.
 func (q *Queue[T]) Put(v T) {
+	if !q.TryPut(v) {
+		panic("sim: Put on closed Queue")
+	}
+}
+
+// TryPut is Put that reports false instead of panicking when the queue is
+// closed — for producers that may race teardown, such as in-flight network
+// deliveries arriving after an endpoint shut down.
+func (q *Queue[T]) TryPut(v T) bool {
 	q.e.mu.Lock()
 	defer q.e.mu.Unlock()
 	if q.closed {
-		panic("sim: Put on closed Queue")
+		return false
 	}
 	if len(q.waiters) > 0 {
 		w := q.waiters[0]
 		q.waiters = q.waiters[1:]
 		w.item, w.ok, w.valid = v, true, true
 		q.e.scheduleWakeLocked(w.p, q.e.Now())
-		return
+		return true
 	}
 	q.items = append(q.items, v)
+	return true
 }
 
 // Close marks the queue closed: queued items are still delivered, then

@@ -29,6 +29,13 @@ const (
 	XferD2H
 	// NetSend is an inter-node data transfer.
 	NetSend
+	// Retry is a retransmission of an unacknowledged active message.
+	Retry
+	// Heartbeat is a failure-detector event (a missed probe).
+	Heartbeat
+	// Recovery is fault-recovery work: a node declared dead, or a lost
+	// region rebuilt by re-running its producer chain.
+	Recovery
 )
 
 func (k Kind) String() string {
@@ -43,6 +50,12 @@ func (k Kind) String() string {
 		return "d2h"
 	case NetSend:
 		return "net"
+	case Retry:
+		return "retry"
+	case Heartbeat:
+		return "heartbeat"
+	case Recovery:
+		return "recovery"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -55,8 +68,10 @@ func (k Kind) paraverState() int {
 	switch k {
 	case TaskRun:
 		return 1 // running
-	case Stage:
+	case Stage, Heartbeat:
 		return 7 // scheduling/overhead
+	case Recovery:
+		return 5 // synchronization / fault handling
 	default:
 		return 12 // memory transfer / communication
 	}

@@ -23,6 +23,7 @@ package ompss
 import (
 	"github.com/bsc-repro/ompss/internal/coherence"
 	"github.com/bsc-repro/ompss/internal/core"
+	"github.com/bsc-repro/ompss/internal/faults"
 	"github.com/bsc-repro/ompss/internal/hw"
 	"github.com/bsc-repro/ompss/internal/memspace"
 	"github.com/bsc-repro/ompss/internal/sched"
@@ -84,6 +85,18 @@ type Config = core.Config
 
 // Stats is the aggregate activity report of one run.
 type Stats = core.Stats
+
+// FaultPlan is a deterministic fault scenario for Config.Faults: a seeded
+// drop process, link degradation, transient stalls and permanent crashes.
+// The zero plan injects nothing but still arms the resilience machinery
+// (acks, retries, heartbeats); a nil Config.Faults disables it entirely.
+type FaultPlan = faults.Plan
+
+// FaultCrash removes a node from the cluster permanently at a virtual time.
+type FaultCrash = faults.Crash
+
+// FaultStall freezes a node's link for a window of virtual time.
+type FaultStall = faults.Stall
 
 // Time is a point in virtual time.
 type Time = sim.Time
