@@ -2,10 +2,10 @@
 
 GO ?= go
 
-.PHONY: check vet fmt build test race bench baseline resilience
+.PHONY: check vet fmt build test lint race bench baseline resilience
 
-## check: gofmt + go vet + build + full test suite (the tier-1 gate)
-check: fmt vet build test
+## check: gofmt + go vet + build + ompss-lint + full test suite (the tier-1 gate)
+check: fmt vet build lint test
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -20,9 +20,14 @@ build:
 test:
 	$(GO) test ./...
 
-## race: race-detect the simulation kernel and the parallel harness
+## lint: the determinism/concurrency analyzers (DESIGN.md §9); any finding fails the gate
+lint:
+	$(GO) run ./cmd/ompss-lint ./...
+
+## race: race-detect the simulation kernel, the parallel harness, and the
+## concurrent runtime layers (core/gasnet/faults)
 race:
-	$(GO) test -race ./internal/sim/... ./internal/bench/...
+	$(GO) test -race ./internal/sim/... ./internal/bench/... ./internal/core/... ./internal/gasnet/... ./internal/faults/...
 
 ## resilience: the fault-plan test matrix plus the quick resilience grid
 resilience:

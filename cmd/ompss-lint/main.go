@@ -1,0 +1,78 @@
+// ompss-lint runs the determinism and concurrency analyzers of
+// internal/analysis over the module and exits nonzero on any finding.
+//
+// Usage:
+//
+//	ompss-lint [./...]
+//
+// The only accepted argument form is a module-root pattern: with no
+// arguments or with "./...", the module containing the current
+// directory is analyzed in full. Findings print as
+// file:line:col: analyzer: message, sorted by position.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/bsc-repro/ompss/internal/analysis"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ompss-lint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string) error {
+	for _, a := range args {
+		if a != "./..." {
+			return fmt.Errorf("unsupported argument %q (only ./... — the whole module — is supported)", a)
+		}
+	}
+	root, err := findModuleRoot()
+	if err != nil {
+		return err
+	}
+	pkgs, err := analysis.LoadModule(root)
+	if err != nil {
+		return err
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analysis.Analyzers())
+	if err != nil {
+		return err
+	}
+	for _, d := range diags {
+		pos := d.Pos
+		if rel, err := filepath.Rel(root, pos.Filename); err == nil {
+			pos.Filename = rel
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Printf("ompss-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+	return nil
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

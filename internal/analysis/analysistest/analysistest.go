@@ -1,0 +1,126 @@
+// Package analysistest checks analyzers against golden packages, in the
+// spirit of golang.org/x/tools/go/analysis/analysistest. Test packages
+// live in a GOPATH-style tree, testdata/src/<import path>/, so they can
+// carry the runtime's real scoped import paths and import stub sim and
+// trace packages placed at those same paths. Expected findings are
+// written in the sources as comments carrying `want "regexp"`; a line
+// may want several findings with `want "re1" "re2"`. The run fails on
+// any unexpected finding and any unmatched expectation.
+package analysistest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/bsc-repro/ompss/internal/analysis"
+)
+
+// Run loads each pkgPath from testdata/src, applies the analyzer, and
+// matches its findings against the packages' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	src := filepath.Join(testdata, "src")
+	resolve := func(path string) (string, bool) {
+		dir := filepath.Join(src, filepath.FromSlash(path))
+		st, err := os.Stat(dir)
+		return dir, err == nil && st.IsDir()
+	}
+	ld := analysis.NewLoader(testdata, resolve)
+	var pkgs []*analysis.Package
+	for _, path := range pkgPaths {
+		dir, ok := resolve(path)
+		if !ok {
+			t.Fatalf("no testdata package %s under %s", path, src)
+		}
+		pkg, err := ld.Load(path, dir)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wants := collectWants(t, pkgs)
+	for _, d := range diags {
+		if !wants.match(d) {
+			t.Errorf("unexpected finding at %s:%d: %s", d.Pos.Filename, d.Pos.Line, d.Message)
+		}
+	}
+	wants.reportUnmatched(t)
+}
+
+type wantKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+type wantSet map[wantKey][]*want
+
+// match pairs d with the first unmatched expectation on its line.
+func (ws wantSet) match(d analysis.Diagnostic) bool {
+	for _, w := range ws[wantKey{d.Pos.Filename, d.Pos.Line}] {
+		if !w.matched && w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func (ws wantSet) reportUnmatched(t *testing.T) {
+	t.Helper()
+	for k, list := range ws {
+		for _, w := range list {
+			if !w.matched {
+				t.Errorf("no finding matched want %q at %s:%d", w.re, k.file, k.line)
+			}
+		}
+	}
+}
+
+// wantRE extracts the quoted regexps of one want comment.
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// collectWants parses the `want "..."` comments of every loaded file.
+func collectWants(t *testing.T, pkgs []*analysis.Package) wantSet {
+	t.Helper()
+	ws := make(wantSet)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimSuffix(
+						strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*"), "*/"))
+					rest, ok := strings.CutPrefix(text, "want ")
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					key := wantKey{pos.Filename, pos.Line}
+					for _, m := range wantRE.FindAllStringSubmatch(rest, -1) {
+						re, err := regexp.Compile(m[1])
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, m[1], err)
+						}
+						ws[key] = append(ws[key], &want{re: re})
+					}
+					if len(ws[key]) == 0 {
+						t.Fatalf("%s:%d: want comment with no quoted regexp", pos.Filename, pos.Line)
+					}
+				}
+			}
+		}
+	}
+	return ws
+}

@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetMapRange flags `for range` over map values in the
+// determinism-scoped runtime packages. Go randomizes map iteration
+// order on purpose, so any map range whose effects reach the scheduler,
+// the trace, checksums or the network reorders work between two runs of
+// the same experiment and breaks bit-identical replay. Iterate
+// detmap.Keys(m) (sorted keys) instead, use clear(m) for delete-all
+// loops, or annotate the loop `//ompss:maporder-ok <reason>` when the
+// body is provably order-independent.
+var DetMapRange = &Analyzer{
+	Name: "detmaprange",
+	Doc:  "forbid ranging over maps in simulator packages; iterate sorted keys (detmap.Keys) instead",
+	Run:  runDetMapRange,
+}
+
+func runDetMapRange(pass *Pass) error {
+	if !InScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if !pass.Suppressed("maporder-ok", rs.For) {
+				pass.Reportf(rs.For,
+					"range over map %s: iteration order is randomized and breaks bit-identical replay; "+
+						"iterate detmap.Keys, clear() for delete-all, or annotate //ompss:maporder-ok <reason>",
+					types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)))
+			}
+			return true
+		})
+	}
+	return nil
+}

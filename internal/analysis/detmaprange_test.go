@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/bsc-repro/ompss/internal/analysis"
+	"github.com/bsc-repro/ompss/internal/analysis/analysistest"
+)
+
+func TestDetMapRange(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.DetMapRange,
+		modPrefix+"internal/sched/maprangebad",
+		modPrefix+"internal/sched/maprangeok",
+	)
+}

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetWallclock forbids wall-clock time and unseeded randomness in the
+// determinism-scoped runtime packages. Simulator code must take time
+// only from the virtual clock (sim.Engine.Now / Proc.Now) and
+// randomness only from seeded *rand.Rand generators; a single time.Now
+// or global-source rand call makes two runs of the same experiment
+// diverge, which breaks bit-identical replay and every checksum
+// comparison built on it.
+var DetWallclock = &Analyzer{
+	Name: "detwallclock",
+	Doc: "forbid time.Now/Since/Until/Sleep/After/Tick/NewTimer/NewTicker/AfterFunc, " +
+		"unseeded math/rand and all crypto/rand in simulator packages",
+	Run: runDetWallclock,
+}
+
+// wallclockFuncs are the package-level time functions that read or wait
+// on the wall clock. Types and constants (time.Duration, time.Second)
+// remain usable.
+var wallclockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+// globalRandOK are the math/rand package-level functions that do not
+// touch the unseeded global source: constructors for seeded generators.
+var globalRandOK = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+func runDetWallclock(pass *Pass) error {
+	if !InScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, ok := selectedPackage(pass, sel)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			var msg string
+			switch {
+			case pkgPath == "time" && wallclockFuncs[name] && isFuncUse(pass, sel.Sel):
+				msg = "time." + name + " reads the wall clock; simulator code must use the virtual clock (sim Now/Sleep)"
+			case pkgPath == "math/rand" && !globalRandOK[name]:
+				msg = "math/rand." + name + " draws from the unseeded global source; use a seeded *rand.Rand"
+			case pkgPath == "math/rand/v2":
+				msg = "math/rand/v2." + name + " draws from a runtime-seeded source; use a seeded *rand.Rand"
+			case pkgPath == "crypto/rand":
+				msg = "crypto/rand." + name + " is nondeterministic by design; use a seeded *rand.Rand"
+			default:
+				return true
+			}
+			if !pass.Suppressed("wallclock-ok", sel.Pos()) {
+				pass.Reportf(sel.Pos(), "%s (or annotate //ompss:wallclock-ok <reason>)", msg)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// selectedPackage resolves sel's X to an imported package, reporting its
+// import path. ok is false when sel is an ordinary field/method access.
+func selectedPackage(pass *Pass, sel *ast.SelectorExpr) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pn.Imported().Path(), true
+}
+
+// isFuncUse reports whether id denotes a function (not a type or const).
+func isFuncUse(pass *Pass, id *ast.Ident) bool {
+	_, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	return ok
+}

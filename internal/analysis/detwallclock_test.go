@@ -1,0 +1,18 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/bsc-repro/ompss/internal/analysis"
+	"github.com/bsc-repro/ompss/internal/analysis/analysistest"
+)
+
+const modPrefix = "github.com/bsc-repro/ompss/"
+
+func TestDetWallclock(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.DetWallclock,
+		modPrefix+"internal/core/wclkbad",
+		modPrefix+"internal/core/wclkok",
+		modPrefix+"internal/toolx",
+	)
+}

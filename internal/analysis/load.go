@@ -1,0 +1,281 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	Path      string // import path
+	Dir       string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// A Loader parses and type-checks packages from source without
+// golang.org/x/tools. Imports that the resolve function maps to a
+// directory are loaded from source recursively; everything else
+// (standard library) is satisfied with compiled export data from the go
+// command's build cache, falling back to type-checking the standard
+// library from source if export data is unavailable.
+type Loader struct {
+	Fset *token.FileSet
+
+	resolve func(importPath string) (dir string, ok bool)
+	workDir string // cwd for `go list` invocations
+
+	gc       types.Importer
+	src      types.Importer
+	useSrc   bool // gc export data unavailable; use the source importer
+	srcProbe bool // whether useSrc has been decided
+
+	exports map[string]string // import path -> export data file
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader returns a loader. resolve maps module-internal import paths
+// to source directories; workDir is where `go list` runs (any directory
+// inside a module, or the module root).
+func NewLoader(workDir string, resolve func(string) (string, bool)) *Loader {
+	fset := token.NewFileSet()
+	ld := &Loader{
+		Fset:    fset,
+		resolve: resolve,
+		workDir: workDir,
+		exports: make(map[string]string),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+	ld.gc = importer.ForCompiler(fset, "gc", ld.lookupExport)
+	ld.src = importer.ForCompiler(fset, "source", nil)
+	return ld
+}
+
+// Import implements types.Importer for the type-checker's benefit.
+func (ld *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if dir, ok := ld.resolve(path); ok {
+		p, err := ld.Load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return ld.importStd(path)
+}
+
+// importStd satisfies a standard-library import. The gc and source
+// importers build incompatible *types.Package identities for shared
+// dependencies, so the choice is made once, on the first import, and
+// held for the loader's lifetime.
+func (ld *Loader) importStd(path string) (*types.Package, error) {
+	if !ld.srcProbe {
+		ld.srcProbe = true
+		if _, err := ld.gc.Import(path); err != nil {
+			ld.useSrc = true
+		}
+	}
+	if ld.useSrc {
+		return ld.src.Import(path)
+	}
+	return ld.gc.Import(path)
+}
+
+// lookupExport feeds the gc importer with export data located via
+// `go list -export`. The -deps flag pre-populates the cache with the
+// whole dependency subtree in one go invocation.
+func (ld *Loader) lookupExport(path string) (io.ReadCloser, error) {
+	file, ok := ld.exports[path]
+	if !ok {
+		if err := ld.fetchExports(path); err != nil {
+			return nil, err
+		}
+		if file, ok = ld.exports[path]; !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+	}
+	return os.Open(file)
+}
+
+func (ld *Loader) fetchExports(path string) error {
+	cmd := exec.Command("go", "list", "-export", "-deps",
+		"-f", "{{.ImportPath}}\t{{.Export}}", path)
+	cmd.Dir = ld.workDir
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go list -export %s: %v", path, err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(string(out)))
+	for sc.Scan() {
+		ip, file, ok := strings.Cut(sc.Text(), "\t")
+		if ok && file != "" {
+			ld.exports[ip] = file
+		}
+	}
+	return nil
+}
+
+// Load parses and type-checks the package rooted at dir under import
+// path path, loading module-internal dependencies recursively. Results
+// are memoized by import path.
+func (ld *Loader) Load(path, dir string) (*Package, error) {
+	if p, ok := ld.pkgs[path]; ok {
+		return p, nil
+	}
+	if ld.loading[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	ld.loading[path] = true
+	defer delete(ld.loading, path)
+
+	names, err := goFileNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: ld}
+	tpkg, err := conf.Check(path, ld.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	p := &Package{
+		Path:      path,
+		Dir:       dir,
+		Fset:      ld.Fset,
+		Syntax:    files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+	ld.pkgs[path] = p
+	return p, nil
+}
+
+// goFileNames lists the buildable non-test Go files of dir, sorted.
+func goFileNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// LoadModule parses and type-checks every package under root, a module
+// root directory containing go.mod. testdata, vendor and hidden
+// directories are skipped, matching the go command's walking rules.
+// Packages are returned sorted by import path.
+func LoadModule(root string) ([]*Package, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := readModulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	resolve := func(path string) (string, bool) {
+		if path == modPath {
+			return root, true
+		}
+		if rest, ok := strings.CutPrefix(path, modPath+"/"); ok {
+			dir := filepath.Join(root, filepath.FromSlash(rest))
+			if st, err := os.Stat(dir); err == nil && st.IsDir() {
+				return dir, true
+			}
+		}
+		return "", false
+	}
+	ld := NewLoader(root, resolve)
+
+	var pkgs []*Package
+	err = filepath.WalkDir(root, func(dir string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if dir != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		names, err := goFileNames(dir)
+		if err != nil || len(names) == 0 {
+			return nil
+		}
+		importPath := modPath
+		if rel, _ := filepath.Rel(root, dir); rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		p, err := ld.Load(importPath, dir)
+		if err != nil {
+			return err
+		}
+		pkgs = append(pkgs, p)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("%s: no module line", gomod)
+}

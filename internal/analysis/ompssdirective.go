@@ -1,0 +1,33 @@
+package analysis
+
+// OmpssDirective validates the suppression directives themselves, in
+// every package: a `//ompss:` comment must name a known kind and must
+// carry a human-readable reason. A reasonless directive is both a
+// finding here and inert — it suppresses nothing — so the escape hatch
+// cannot be used silently.
+var OmpssDirective = &Analyzer{
+	Name: "ompssdirective",
+	Doc:  "every //ompss:<kind> directive must be a known kind and carry a reason",
+	Run:  runOmpssDirective,
+}
+
+func runOmpssDirective(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := parseDirective(c)
+				if !ok {
+					continue
+				}
+				if _, known := KnownKinds[d.Kind]; !known {
+					pass.Reportf(d.Pos, "unknown directive //ompss:%s (known: maporder-ok, simblock-ok, tracepair-ok, wallclock-ok)", d.Kind)
+					continue
+				}
+				if d.Reason == "" {
+					pass.Reportf(d.Pos, "//ompss:%s needs a reason: write //ompss:%s <why this is safe>; a bare directive suppresses nothing", d.Kind, d.Kind)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,17 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/bsc-repro/ompss/internal/analysis"
+	"github.com/bsc-repro/ompss/internal/analysis/analysistest"
+)
+
+// TestOmpssDirective proves the escape-hatch contract: a directive
+// without a reason is itself a lint error (and, per the wclkbad golden
+// case, suppresses nothing).
+func TestOmpssDirective(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.OmpssDirective,
+		modPrefix+"internal/core/directivebad",
+	)
+}

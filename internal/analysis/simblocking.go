@@ -1,0 +1,237 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SimBlocking flags the deadlock shapes the virtual-clock engine cannot
+// detect at runtime: calls into sim blocking primitives (Sleep, Yield,
+// Wait, WaitFor, Get, Acquire, Use, Run, WaitAll) made
+//
+//   - while a sync.Mutex/RWMutex locked in the same function is still
+//     held — the engine parks the process with the lock taken and every
+//     other process that wants it deadlocks at a frozen virtual time;
+//   - while an acquired sim.Resource is still held, for nested acquires
+//     and unbounded waits — two processes acquiring two resources in
+//     opposite orders freeze the clock the same way (bounded
+//     Sleep/Yield with a resource held is the occupancy model itself
+//     and is allowed);
+//   - anywhere inside Engine.After / Event.OnTrigger callbacks, which
+//     run inline on the engine loop and are documented no-block
+//     contexts.
+//
+// The analysis is per-function and source-ordered; function literals
+// are independent contexts (a spawned process does not inherit its
+// parent's locks).
+var SimBlocking = &Analyzer{
+	Name: "simblocking",
+	Doc:  "forbid sim blocking calls under held mutexes/resources and inside inline engine callbacks",
+	Run:  runSimBlocking,
+}
+
+// simBlockingFuncs are the sim package functions and methods that park
+// the calling process on the engine.
+var simBlockingFuncs = map[string]bool{
+	"Sleep": true, "Yield": true, "Wait": true, "WaitFor": true,
+	"Get": true, "Acquire": true, "Use": true, "Run": true, "WaitAll": true,
+}
+
+// simUnboundedFuncs is the subset whose wait is not bounded by a
+// duration argument — the ones that deadlock (rather than stall) when
+// the matching Trigger/Put/Release can never happen.
+var simUnboundedFuncs = map[string]bool{
+	"Wait": true, "Get": true, "Acquire": true, "Use": true,
+	"Run": true, "WaitAll": true,
+}
+
+// simInlineCallbacks are the sim functions whose function-literal
+// arguments run inline on the engine loop and must not block.
+var simInlineCallbacks = map[string]bool{
+	"After": true, "OnTrigger": true,
+}
+
+func runSimBlocking(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if !InScope(path) || isSimPkg(path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok {
+				return true
+			}
+			if fd.Body != nil {
+				scanBlockingContext(pass, fd.Body, false)
+			}
+			return false
+		})
+	}
+	return nil
+}
+
+// heldSync is one mutex or resource currently held, keyed by the source
+// text of its receiver expression.
+type heldSync struct {
+	expr string
+}
+
+// scanBlockingContext walks one function-like body in source order,
+// tracking held mutexes and resources. noblock marks inline engine
+// callback bodies where any blocking call is an error.
+func scanBlockingContext(pass *Pass, body *ast.BlockStmt, noblock bool) {
+	var heldMu, heldRes []heldSync
+	// litMode defers nested function literals to their own scan, in the
+	// mode their enclosing call dictates.
+	litMode := make(map[*ast.FuncLit]bool)
+	deferred := make(map[*ast.CallExpr]bool)
+
+	remove := func(held []heldSync, expr string) []heldSync {
+		for i := len(held) - 1; i >= 0; i-- {
+			if held[i].expr == expr {
+				return append(held[:i], held[i+1:]...)
+			}
+		}
+		return held
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			deferred[n.Call] = true
+			return true
+		case *ast.FuncLit:
+			scanBlockingContext(pass, n.Body, litMode[n])
+			return false
+		case *ast.CallExpr:
+			if expr, op, ok := mutexOp(pass, n); ok {
+				switch op {
+				case "Lock", "RLock":
+					heldMu = append(heldMu, heldSync{expr})
+				case "Unlock", "RUnlock":
+					if !deferred[n] {
+						heldMu = remove(heldMu, expr)
+					}
+				}
+				return true
+			}
+			fn, recv, ok := simCall(pass, n)
+			if !ok {
+				return true
+			}
+			name := fn.Name()
+			if simInlineCallbacks[name] {
+				for _, arg := range n.Args {
+					if lit, isLit := arg.(*ast.FuncLit); isLit {
+						litMode[lit] = true
+					}
+				}
+				return true
+			}
+			if name == "Release" && isResourceMethod(fn) {
+				if !deferred[n] {
+					heldRes = remove(heldRes, recv)
+				}
+				return true
+			}
+			if !simBlockingFuncs[name] {
+				return true
+			}
+			// Spawning a process is not blocking; only the primitives
+			// above park the caller. Report the most specific violation.
+			switch {
+			case noblock:
+				report(pass, n, "sim %s inside an Engine.After/Event.OnTrigger callback: "+
+					"inline engine callbacks must not block", name)
+			case len(heldMu) > 0:
+				report(pass, n, "sim %s while mutex %s is held: blocking under a lock "+
+					"deadlocks the virtual-clock engine", name, heldMu[len(heldMu)-1].expr)
+			case len(heldRes) > 0 && name == "Acquire" && isResourceMethod(fn):
+				report(pass, n, "nested %s.Acquire while resource %s is held: opposite "+
+					"acquisition orders deadlock at a frozen virtual time", recv, heldRes[len(heldRes)-1].expr)
+			case len(heldRes) > 0 && simUnboundedFuncs[name]:
+				report(pass, n, "unbounded sim %s while resource %s is held: the waiter "+
+					"keeps the resource occupied forever if the wake-up never comes", name, heldRes[len(heldRes)-1].expr)
+			}
+			if name == "Acquire" && isResourceMethod(fn) {
+				heldRes = append(heldRes, heldSync{recv})
+			}
+			return true
+		}
+		return true
+	})
+}
+
+func report(pass *Pass, n *ast.CallExpr, format string, args ...interface{}) {
+	if pass.Suppressed("simblock-ok", n.Pos()) {
+		return
+	}
+	pass.Reportf(n.Pos(), format+" (or annotate //ompss:simblock-ok <reason>)", args...)
+}
+
+// mutexOp matches method calls on sync.Mutex/sync.RWMutex values,
+// returning the receiver's source text and the method name.
+func mutexOp(pass *Pass, call *ast.CallExpr) (expr, op string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	selection, isMethod := pass.TypesInfo.Selections[sel]
+	if !isMethod {
+		return "", "", false
+	}
+	t := selection.Recv()
+	if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex":
+		return types.ExprString(sel.X), sel.Sel.Name, true
+	}
+	return "", "", false
+}
+
+// simCall matches calls that resolve to a function or method of the sim
+// package, returning the callee and the receiver's source text ("" for
+// package-level functions).
+func simCall(pass *Pass, call *ast.CallExpr) (fn *types.Func, recv string, ok bool) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+		recv = types.ExprString(fun.X)
+	case *ast.Ident:
+		id = fun
+	default:
+		return nil, "", false
+	}
+	fn, isFunc := pass.TypesInfo.Uses[id].(*types.Func)
+	if !isFunc || fn.Pkg() == nil || !isSimPkg(fn.Pkg().Path()) {
+		return nil, "", false
+	}
+	return fn, recv, true
+}
+
+// isResourceMethod reports whether fn is a method of sim.Resource.
+func isResourceMethod(fn *types.Func) bool {
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	return isNamed && named.Obj().Name() == "Resource"
+}

@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/bsc-repro/ompss/internal/analysis"
+	"github.com/bsc-repro/ompss/internal/analysis/analysistest"
+)
+
+func TestSimBlocking(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.SimBlocking,
+		modPrefix+"internal/core/blockbad",
+		modPrefix+"internal/core/blockok",
+	)
+}

@@ -1,0 +1,28 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/bsc-repro/ompss/internal/analysis"
+)
+
+// TestSuiteCleanOnTree is the tier-1 gate in test form: the full
+// analyzer suite over the real module must report nothing. It also
+// exercises LoadModule end to end (module walking, stdlib imports via
+// export data, recursive in-module resolution).
+func TestSuiteCleanOnTree(t *testing.T) {
+	pkgs, err := analysis.LoadModule("../..")
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("LoadModule found only %d packages; the walker lost part of the tree", len(pkgs))
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analysis.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

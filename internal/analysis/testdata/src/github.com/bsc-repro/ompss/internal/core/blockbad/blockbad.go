@@ -1,0 +1,49 @@
+// Package blockbad is the flagged golden case for simblocking: every
+// deadlock shape the virtual-clock engine cannot detect at runtime.
+package blockbad
+
+import (
+	"sync"
+
+	"github.com/bsc-repro/ompss/internal/sim"
+)
+
+// SleepUnderLock blocks while holding a mutex.
+func SleepUnderLock(p *sim.Proc, mu *sync.Mutex) {
+	mu.Lock()
+	p.Sleep(1) // want "sim Sleep while mutex mu is held"
+	mu.Unlock()
+}
+
+// WaitUnderDeferredUnlock still holds the lock at the wait: the deferred
+// unlock only runs at return.
+func WaitUnderDeferredUnlock(p *sim.Proc, mu *sync.RWMutex, ev *sim.Event) {
+	mu.Lock()
+	defer mu.Unlock()
+	ev.Wait(p) // want "sim Wait while mutex mu is held"
+}
+
+// NestedAcquire takes a second resource while holding the first.
+func NestedAcquire(p *sim.Proc, a, b *sim.Resource) {
+	a.Acquire(p)
+	b.Acquire(p) // want "nested b.Acquire while resource a is held"
+	b.Release()
+	a.Release()
+}
+
+// WaitUnderResource parks unboundedly while occupying a resource.
+func WaitUnderResource(p *sim.Proc, r *sim.Resource, q *sim.Queue) {
+	r.Acquire(p)
+	_, _ = q.Get(p) // want "unbounded sim Get while resource r is held"
+	r.Release()
+}
+
+// BlockInAfter blocks inside an inline engine callback.
+func BlockInAfter(e *sim.Engine, p *sim.Proc, ev *sim.Event) {
+	e.After(1, func() {
+		ev.Wait(p) // want "sim Wait inside an Engine.After/Event.OnTrigger callback"
+	})
+	ev.OnTrigger(func() {
+		p.Sleep(1) // want "sim Sleep inside an Engine.After/Event.OnTrigger callback"
+	})
+}

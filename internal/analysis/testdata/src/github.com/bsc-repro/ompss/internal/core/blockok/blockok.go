@@ -1,0 +1,44 @@
+// Package blockok is the clean golden case for simblocking: unlock
+// before blocking, the bounded occupancy model, spawning from inline
+// callbacks, and the reasoned escape hatch.
+package blockok
+
+import (
+	"sync"
+
+	"github.com/bsc-repro/ompss/internal/sim"
+)
+
+// UnlockThenSleep releases the lock before parking.
+func UnlockThenSleep(p *sim.Proc, mu *sync.Mutex) {
+	mu.Lock()
+	mu.Unlock()
+	p.Sleep(1)
+}
+
+// Occupy models engine occupancy: a bounded Sleep with the resource
+// held is the point of the pattern.
+func Occupy(p *sim.Proc, r *sim.Resource) {
+	r.Acquire(p)
+	p.Sleep(10)
+	r.Release()
+}
+
+// SpawnFromAfter spawns a process from an inline callback; the spawned
+// process may block freely.
+func SpawnFromAfter(e *sim.Engine, ev *sim.Event) {
+	e.After(1, func() {
+		e.Go("drain", func(p *sim.Proc) {
+			ev.Wait(p)
+		})
+	})
+}
+
+// OrderedAcquire nests acquires under a documented global order.
+func OrderedAcquire(p *sim.Proc, tx, rx *sim.Resource) {
+	tx.Acquire(p)
+	//ompss:simblock-ok TX is always acquired before RX; the wait graph is acyclic
+	rx.Acquire(p)
+	tx.Release()
+	rx.Release()
+}

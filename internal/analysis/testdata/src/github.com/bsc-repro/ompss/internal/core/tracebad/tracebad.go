@@ -1,0 +1,24 @@
+// Package tracebad is the flagged golden case for tracepair.
+package tracebad
+
+import "github.com/bsc-repro/ompss/internal/trace"
+
+// Discarded opens a span and drops the handle on the floor.
+func Discarded(rec *trace.Recorder) {
+	rec.Begin(trace.TaskRun, "k", 0, 0, 0) // want "Open handle is discarded"
+}
+
+// NeverClosed binds the handle but never ends the span.
+func NeverClosed(rec *trace.Recorder) {
+	sp := rec.Begin(trace.Stage, "stage", 0, 0, 0) // want "trace span sp is opened but never closed"
+	_ = sp
+}
+
+// LeakOnReturn can exit between Begin and End.
+func LeakOnReturn(rec *trace.Recorder, fail bool) {
+	sp := rec.Begin(trace.XferH2D, "fetch", 0, 0, 0) // want "trace span sp can leak through the return"
+	if fail {
+		return
+	}
+	sp.End(10)
+}

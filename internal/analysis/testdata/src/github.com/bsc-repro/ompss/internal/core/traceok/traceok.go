@@ -1,0 +1,39 @@
+// Package traceok is the clean golden case for tracepair: deferred
+// closes survive early returns, straight-line pairs, closure closes,
+// and escaping handles are trusted.
+package traceok
+
+import "github.com/bsc-repro/ompss/internal/trace"
+
+// DeferClose is safe on every path.
+func DeferClose(rec *trace.Recorder, fail bool) {
+	sp := rec.Begin(trace.TaskRun, "k", 0, 0, 0)
+	defer sp.End(10)
+	if fail {
+		return
+	}
+}
+
+// StraightLine closes before any return.
+func StraightLine(rec *trace.Recorder) {
+	sp := rec.Begin(trace.Stage, "stage", 0, 0, 0)
+	sp.EndNonEmpty(10)
+}
+
+// ClosureClose hands the close to a spawned continuation.
+func ClosureClose(rec *trace.Recorder, run func(func())) {
+	sp := rec.Begin(trace.XferD2H, "writeback", 0, 0, 0)
+	run(func() {
+		sp.EndBytes(10, 4096)
+	})
+}
+
+// Escape passes the handle to a helper that owns the close.
+func Escape(rec *trace.Recorder) {
+	sp := rec.Begin(trace.NetSend, "m->s", 0, -1, 0)
+	closeLater(sp)
+}
+
+func closeLater(sp trace.Open) {
+	sp.End(10)
+}

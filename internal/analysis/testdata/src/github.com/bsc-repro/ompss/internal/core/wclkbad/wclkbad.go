@@ -1,0 +1,26 @@
+// Package wclkbad is the flagged golden case for detwallclock.
+package wclkbad
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"time"
+)
+
+// Stamp reads wall-clock time three ways.
+func Stamp() time.Duration {
+	t := time.Now()              // want "time.Now reads the wall clock"
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+	return time.Since(t)         // want "time.Since reads the wall clock"
+}
+
+// Draw uses the unseeded global and crypto sources.
+func Draw(buf []byte) int {
+	_, _ = crand.Read(buf) // want "crypto/rand.Read is nondeterministic"
+	return rand.Intn(10)   // want "math/rand.Intn draws from the unseeded global source"
+}
+
+// Bare shows that a reasonless directive suppresses nothing.
+func Bare() time.Time {
+	return time.Now() /* want "time.Now reads the wall clock" */ //ompss:wallclock-ok
+}

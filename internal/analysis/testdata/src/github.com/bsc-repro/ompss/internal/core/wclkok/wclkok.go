@@ -1,0 +1,30 @@
+// Package wclkok is the clean golden case for detwallclock: virtual
+// time, seeded randomness, time types and constants, and a reasoned
+// escape hatch.
+package wclkok
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/bsc-repro/ompss/internal/sim"
+)
+
+// Tick takes time only from the virtual clock; time.Duration values and
+// constants are fine, only the wall-clock functions are not.
+func Tick(e *sim.Engine, p *sim.Proc, budget time.Duration) sim.Time {
+	p.Sleep(sim.Duration(budget / time.Millisecond))
+	return e.Now()
+}
+
+// Draw uses a seeded generator.
+func Draw(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// LogStamp is allowed to read the wall clock: the reasoned escape hatch.
+func LogStamp() time.Time {
+	//ompss:wallclock-ok operator-facing log banner; never reaches sim state
+	return time.Now()
+}

@@ -1,0 +1,29 @@
+// Package detmap is a copy of the real deterministic-iteration helpers,
+// placed at their real import path so golden test packages can show the
+// blessed rewrite.
+package detmap
+
+import (
+	"cmp"
+	"sort"
+)
+
+// Keys returns m's keys sorted ascending.
+func Keys[M ~map[K]V, K cmp.Ordered, V any](m M) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return cmp.Less(keys[i], keys[j]) })
+	return keys
+}
+
+// KeysFunc returns m's keys sorted by less.
+func KeysFunc[M ~map[K]V, K comparable, V any](m M, less func(a, b K) bool) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return less(keys[i], keys[j]) })
+	return keys
+}

@@ -1,0 +1,35 @@
+// Package maprangebad is the flagged golden case for detmaprange.
+package maprangebad
+
+// Sum visits a map in randomized order.
+func Sum(m map[int]int) int {
+	total := 0
+	for _, v := range m { // want "range over map map\[int\]int"
+		total += v
+	}
+	return total
+}
+
+// Drop shows the delete-all loop (the rewrite is clear()).
+func Drop(m map[string]bool) {
+	for k := range m { // want "range over map map\[string\]bool"
+		delete(m, k)
+	}
+}
+
+// Bare shows that a reasonless directive suppresses nothing.
+func Bare(m map[int]int) {
+	//ompss:maporder-ok
+	for range m { // want "range over map map\[int\]int"
+		_ = m
+	}
+}
+
+// Slices range deterministically and are not flagged.
+func Slices(s []int) int {
+	total := 0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,24 @@
+// Package maprangeok is the clean golden case for detmaprange: the
+// blessed detmap rewrite and the reasoned escape hatch.
+package maprangeok
+
+import "github.com/bsc-repro/ompss/internal/detmap"
+
+// Sum visits the map in sorted-key order.
+func Sum(m map[int]int) int {
+	total := 0
+	for _, k := range detmap.Keys(m) {
+		total += m[k]
+	}
+	return total
+}
+
+// Count is order-independent and says so.
+func Count(m map[string]bool) int {
+	n := 0
+	//ompss:maporder-ok pure count; no effect escapes the loop
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,10 @@
+// Package toolx sits outside the determinism scope: wall-clock use here
+// is not flagged.
+package toolx
+
+import "time"
+
+// Uptime may read the wall clock freely.
+func Uptime(since time.Time) time.Duration {
+	return time.Since(since)
+}

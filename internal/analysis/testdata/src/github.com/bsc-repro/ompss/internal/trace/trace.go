@@ -1,0 +1,45 @@
+// Package trace is a type-level stub of the real trace recorder, placed
+// at its real import path for the tracepair golden tests.
+package trace
+
+// Kind classifies a span.
+type Kind int
+
+// Span kinds.
+const (
+	TaskRun Kind = iota
+	Stage
+	XferH2D
+	XferD2H
+	NetSend
+)
+
+// Span is one completed interval.
+type Span struct {
+	Kind       Kind
+	Name       string
+	Node, Dev  int
+	Start, End int64
+	Bytes      uint64
+}
+
+// Recorder stubs the span recorder.
+type Recorder struct{}
+
+// Record appends a completed span.
+func (r *Recorder) Record(s Span) {}
+
+// Open is an in-flight span handle.
+type Open struct{}
+
+// Begin opens a span.
+func (r *Recorder) Begin(kind Kind, name string, node, dev int, start int64) Open { return Open{} }
+
+// End closes the span.
+func (o Open) End(end int64) {}
+
+// EndBytes closes the span with a payload.
+func (o Open) EndBytes(end int64, bytes uint64) {}
+
+// EndNonEmpty closes the span if it has positive length.
+func (o Open) EndNonEmpty(end int64) {}

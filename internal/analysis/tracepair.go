@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// TracePair checks that every trace span opened with Recorder.Begin is
+// closed. A Begin whose Open handle is discarded can never be closed; a
+// handle that is bound but never passed to End/EndBytes/EndNonEmpty (or
+// a defer of one) leaks the span; and a plain (non-deferred) close with
+// a `return` between Begin and the first close leaves the span open on
+// the early path. Handles that escape the function (passed as an
+// argument, stored in a field, returned) are assumed closed elsewhere.
+var TracePair = &Analyzer{
+	Name: "tracepair",
+	Doc:  "every trace.Recorder.Begin must reach End/EndBytes/EndNonEmpty on all paths",
+	Run:  runTracePair,
+}
+
+// traceCloseFuncs are the trace.Open methods that record the span.
+var traceCloseFuncs = map[string]bool{
+	"End": true, "EndBytes": true, "EndNonEmpty": true,
+}
+
+func runTracePair(pass *Pass) error {
+	if !InScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkTraceSpans(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				checkTraceSpans(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkTraceSpans analyzes one function-like body. Nested function
+// literals are separate contexts: their own Begins are checked there,
+// but a close inside a nested literal does count for an enclosing
+// handle (the closure pattern), while their returns do not.
+func checkTraceSpans(pass *Pass, body *ast.BlockStmt) {
+	// Collect this context's Begin calls and its own return positions.
+	type span struct {
+		begin *ast.CallExpr
+		obj   types.Object // bound handle, nil when discarded
+	}
+	var spans []span
+	var returns []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			returns = append(returns, n.Pos())
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok && isTraceBegin(pass, call) {
+				spans = append(spans, span{begin: call})
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok || !isTraceBegin(pass, call) {
+				return true
+			}
+			id, ok := n.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true // field or index target: handle escapes
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj != nil {
+				spans = append(spans, span{begin: call, obj: obj})
+			}
+		}
+		return true
+	})
+
+	for _, sp := range spans {
+		if sp.obj == nil {
+			reportSpan(pass, sp.begin, "trace span's Open handle is discarded, so the span can never be closed")
+			continue
+		}
+		closes, deferredClose, escapes := spanUses(pass, body, sp.obj)
+		if escapes {
+			continue
+		}
+		if len(closes) == 0 {
+			reportSpan(pass, sp.begin, "trace span %s is opened but never closed (call End/EndBytes/EndNonEmpty or defer one)", sp.obj.Name())
+			continue
+		}
+		if deferredClose {
+			continue
+		}
+		first := closes[0]
+		for _, c := range closes[1:] {
+			if c < first {
+				first = c
+			}
+		}
+		for _, r := range returns {
+			if r > sp.begin.Pos() && r < first {
+				reportSpan(pass, sp.begin, "trace span %s can leak through the return before its close; defer the close or close before returning", sp.obj.Name())
+				break
+			}
+		}
+	}
+}
+
+func reportSpan(pass *Pass, begin *ast.CallExpr, format string, args ...interface{}) {
+	if !pass.Suppressed("tracepair-ok", begin.Pos()) {
+		pass.Reportf(begin.Pos(), format+" (or annotate //ompss:tracepair-ok <reason>)", args...)
+	}
+}
+
+// spanUses scans the whole body (including nested literals, where the
+// closure may legitimately close the handle) for uses of the handle obj:
+// the positions of close calls, whether any close is deferred, and
+// whether the handle escapes to code this pass cannot see.
+func spanUses(pass *Pass, body *ast.BlockStmt, obj types.Object) (closes []token.Pos, deferredClose, escapes bool) {
+	deferredCalls := make(map[*ast.CallExpr]bool)
+	closeCalls := make(map[*ast.Ident]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			deferredCalls[n.Call] = true
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || !traceCloseFuncs[sel.Sel.Name] {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || pass.TypesInfo.Uses[id] != obj {
+				return true
+			}
+			closeCalls[id] = true
+			closes = append(closes, n.Pos())
+			if deferredCalls[n] {
+				deferredClose = true
+			}
+		}
+		return true
+	})
+	// Any use of the handle that is not one of the close receivers makes
+	// it escape (reassigned, passed along, stored) — except assignment to
+	// blank, which cannot close the span and is just a use marker.
+	blankUses := make(map[*ast.Ident]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			l, lok := lhs.(*ast.Ident)
+			r, rok := as.Rhs[i].(*ast.Ident)
+			if lok && rok && l.Name == "_" {
+				blankUses[r] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || closeCalls[id] || blankUses[id] {
+			return true
+		}
+		if pass.TypesInfo.Uses[id] == obj {
+			escapes = true
+		}
+		return true
+	})
+	return closes, deferredClose, escapes
+}
+
+// isTraceBegin matches calls to the trace package's Recorder.Begin.
+func isTraceBegin(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Begin" {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && isTracePkg(fn.Pkg().Path())
+}

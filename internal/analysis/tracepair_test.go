@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/bsc-repro/ompss/internal/analysis"
+	"github.com/bsc-repro/ompss/internal/analysis/analysistest"
+)
+
+func TestTracePair(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.TracePair,
+		modPrefix+"internal/core/tracebad",
+		modPrefix+"internal/core/traceok",
+	)
+}

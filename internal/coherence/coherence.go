@@ -17,9 +17,19 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/bsc-repro/ompss/internal/detmap"
 	"github.com/bsc-repro/ompss/internal/memspace"
 	"github.com/bsc-repro/ompss/internal/task"
 )
+
+// locLess orders locations by node, then device — the deterministic
+// visit order for every holder-set iteration (detmap.KeysFunc).
+func locLess(a, b memspace.Location) bool {
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	return a.Dev < b.Dev
+}
 
 // Policy is a cache write policy.
 type Policy string
@@ -116,9 +126,7 @@ func (d *Directory) Init(r memspace.Region, loc memspace.Location) {
 func (d *Directory) Produced(r memspace.Region, loc memspace.Location) {
 	en := d.entry(r)
 	en.version++
-	for l := range en.holders {
-		delete(en.holders, l)
-	}
+	clear(en.holders)
 	en.holders[loc] = true
 	if d.homeSet && loc == d.home {
 		en.producers = nil
@@ -142,9 +150,10 @@ func (d *Directory) AddHolder(r memspace.Region, loc memspace.Location) {
 // node — ordered by address for deterministic recovery.
 func (d *Directory) PurgeNode(node int) []memspace.Region {
 	var lost []memspace.Region
-	for _, en := range d.entries {
+	for _, addr := range detmap.Keys(d.entries) {
+		en := d.entries[addr]
 		changed := false
-		for l := range en.holders {
+		for _, l := range detmap.KeysFunc(en.holders, locLess) {
 			if l.Node == node {
 				delete(en.holders, l)
 				changed = true
@@ -154,7 +163,6 @@ func (d *Directory) PurgeNode(node int) []memspace.Region {
 			lost = append(lost, en.region)
 		}
 	}
-	sort.Slice(lost, func(i, j int) bool { return lost[i].Addr < lost[j].Addr })
 	return lost
 }
 
@@ -167,9 +175,7 @@ func (d *Directory) Rehome(r memspace.Region) {
 		panic("coherence: Rehome without TrackProducers")
 	}
 	en := d.entry(r)
-	for l := range en.holders {
-		delete(en.holders, l)
-	}
+	clear(en.holders)
 	en.holders[d.home] = true
 	en.producers = nil
 }
@@ -214,26 +220,15 @@ func (d *Directory) Holders(r memspace.Region) []memspace.Location {
 	if !ok {
 		return nil
 	}
-	out := make([]memspace.Location, 0, len(en.holders))
-	for l := range en.holders {
-		out = append(out, l)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Node != out[j].Node {
-			return out[i].Node < out[j].Node
-		}
-		return out[i].Dev < out[j].Dev
-	})
-	return out
+	return detmap.KeysFunc(en.holders, locLess)
 }
 
 // Regions returns all regions the directory knows, ordered by address.
 func (d *Directory) Regions() []memspace.Region {
 	out := make([]memspace.Region, 0, len(d.entries))
-	for _, en := range d.entries {
-		out = append(out, en.region)
+	for _, addr := range detmap.Keys(d.entries) {
+		out = append(out, d.entries[addr].region)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
 	return out
 }
 
@@ -316,8 +311,8 @@ func (c *Cache) MakeSpace(size uint64) (victims []*Line, ok bool) {
 	}
 	// Collect unpinned lines oldest-first.
 	var cand []*Line
-	for _, l := range c.lines {
-		if l.pins == 0 {
+	for _, addr := range detmap.Keys(c.lines) {
+		if l := c.lines[addr]; l.pins == 0 {
 			cand = append(cand, l)
 		}
 	}
@@ -406,21 +401,19 @@ func (c *Cache) Clean(r memspace.Region) {
 // DirtyLines returns all dirty lines ordered by region address (for flush).
 func (c *Cache) DirtyLines() []*Line {
 	var out []*Line
-	for _, l := range c.lines {
-		if l.Dirty {
+	for _, addr := range detmap.Keys(c.lines) {
+		if l := c.lines[addr]; l.Dirty {
 			out = append(out, l)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Region.Addr < out[j].Region.Addr })
 	return out
 }
 
 // Lines returns all resident lines ordered by region address.
 func (c *Cache) Lines() []*Line {
 	out := make([]*Line, 0, len(c.lines))
-	for _, l := range c.lines {
-		out = append(out, l)
+	for _, addr := range detmap.Keys(c.lines) {
+		out = append(out, c.lines[addr])
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Region.Addr < out[j].Region.Addr })
 	return out
 }

@@ -525,6 +525,7 @@ func (rt *Runtime) pullToMaster(p *sim.Proc, r memspace.Region, j int) bool {
 	}
 	id := rt.newXfer(0, j)
 	ack := rt.cluster().xferEvents[id]
+	start := p.Now()
 	if !m.ep.AMShort(p, j, amFetch, fetchArgs{Region: r, XferID: id}) {
 		rt.ackXfer(id)
 		rt.xferFailedTake(id)
@@ -535,6 +536,10 @@ func (rt *Runtime) pullToMaster(p *sim.Proc, r memspace.Region, j int) bool {
 	if rt.xferFailedTake(id) {
 		return false
 	}
+	// The pull is a network transfer like its m->s and s->s siblings and
+	// gets the same span; it was the one send path missing from the trace.
+	rt.cfg.Trace.Record(trace.Span{Kind: trace.NetSend, Name: "s->m",
+		Node: j, Dev: -1, Start: start, End: p.Now(), Bytes: r.Size})
 	rt.bytesMtoS += r.Size
 	return true
 }

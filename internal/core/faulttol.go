@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/bsc-repro/ompss/internal/detmap"
 	"github.com/bsc-repro/ompss/internal/faults"
 	"github.com/bsc-repro/ompss/internal/gasnet"
 	"github.com/bsc-repro/ompss/internal/memspace"
@@ -211,12 +212,11 @@ func (rt *Runtime) nodeDead(k int, reason string) {
 	// Fail every pending transfer with k as a peer so its waiter unblocks
 	// and re-routes (sorted for a deterministic wake order).
 	var ids []int64
-	for id, peers := range ft.xferPeers {
-		if peers[0] == k || peers[1] == k {
+	for _, id := range detmap.Keys(ft.xferPeers) {
+		if peers := ft.xferPeers[id]; peers[0] == k || peers[1] == k {
 			ids = append(ids, id)
 		}
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
 		ft.xferFailed[id] = true
 		rt.ackXfer(id)
@@ -224,12 +224,11 @@ func (rt *Runtime) nodeDead(k int, reason string) {
 	// Requeue k's queued and in-flight tasks on the survivors.
 	requeue := rt.clSch.Drain(k)
 	var lostIDs []task.ID
-	for id, node := range ft.inflightNode {
-		if node == k {
+	for _, id := range detmap.Keys(ft.inflightNode) {
+		if ft.inflightNode[id] == k {
 			lostIDs = append(lostIDs, id)
 		}
 	}
-	sort.Slice(lostIDs, func(i, j int) bool { return lostIDs[i] < lostIDs[j] })
 	for _, id := range lostIDs {
 		requeue = append(requeue, ft.inflightTask[id])
 		delete(ft.inflightNode, id)
@@ -298,6 +297,8 @@ func (rt *Runtime) recoverLost(k int) {
 	}
 	sort.Slice(chain, func(i, j int) bool { return chain[i].ID < chain[j].ID })
 	rt.e.Go(fmt.Sprintf("recover:node%d", k), func(p *sim.Proc) {
+		rebuildSpan := rt.cfg.Trace.Begin(trace.Recovery,
+			fmt.Sprintf("rebuild:node%d", k), 0, -1, detect)
 		for _, t := range chain {
 			done, running := ft.recoveryDone[t.ID]
 			if !running {
@@ -323,9 +324,7 @@ func (rt *Runtime) recoverLost(k int) {
 		if ft.recoverEnd < now {
 			ft.recoverEnd = now
 		}
-		rt.cfg.Trace.Record(trace.Span{Kind: trace.Recovery,
-			Name: fmt.Sprintf("rebuild:node%d", k),
-			Node: 0, Dev: -1, Start: detect, End: now, Bytes: bytes})
+		rebuildSpan.EndBytes(now, bytes)
 	})
 }
 

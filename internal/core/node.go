@@ -205,10 +205,9 @@ func (n *nodeRT) runSMP(p *sim.Proc, t *task.Task) {
 	copies := t.Copies()
 	// Inputs must be valid in host memory (SMP tasks use copy clauses too).
 	n.stageRegions(p, t, hostDevKey)
-	runStart := p.Now()
+	run := n.rt.cfg.Trace.Begin(trace.TaskRun, t.Name, n.id, -1, p.Now())
 	p.Sleep(n.jitter(t.ID, t.Work.CPUCost(n.spec)))
-	n.rt.cfg.Trace.Record(trace.Span{Kind: trace.TaskRun, Name: t.Name,
-		Node: n.id, Dev: -1, Start: runStart, End: p.Now()})
+	run.End(p.Now())
 	if n.rt.cfg.Validate {
 		t.Work.Run(n.hostStore)
 	}
@@ -272,17 +271,14 @@ func (n *nodeRT) gpuManagerLoop(p *sim.Proc, g int) {
 			}
 			p.Sleep(taskOverhead)
 			n.registerReduction(t)
-			stageStart := p.Now()
+			stage := n.rt.cfg.Trace.Begin(trace.Stage, t.Name, n.id, g, p.Now())
 			n.stageRegions(p, t, g)
-			if p.Now() > stageStart {
-				n.rt.cfg.Trace.Record(trace.Span{Kind: trace.Stage, Name: t.Name,
-					Node: n.id, Dev: g, Start: stageStart, End: p.Now()})
-			}
+			stage.EndNonEmpty(p.Now())
 		}
 		dev := n.devs[g]
 		work := t.Work
 		cost := n.jitter(t.ID, work.GPUCost(dev.Spec()))
-		kernelStart := p.Now()
+		kernel := n.rt.cfg.Trace.Begin(trace.TaskRun, t.Name, n.id, g, p.Now())
 		kernelDone := dev.LaunchAsync(t.Name, cost, func(devStore *memspace.Store) {
 			if n.rt.cfg.Validate {
 				work.Run(devStore)
@@ -302,8 +298,7 @@ func (n *nodeRT) gpuManagerLoop(p *sim.Proc, g int) {
 			}
 		}
 		kernelDone.Wait(p)
-		n.rt.cfg.Trace.Record(trace.Span{Kind: trace.TaskRun, Name: t.Name,
-			Node: n.id, Dev: g, Start: kernelStart, End: p.Now()})
+		kernel.End(p.Now())
 		n.publishGPUTask(p, g, t)
 		if t.Spawner != nil {
 			// Detached: the nested tasks need this very GPU manager.
@@ -588,10 +583,9 @@ func (n *nodeRT) dropLine(g int, r memspace.Region) {
 // writeBackLine copies GPU g's version of r to the host and marks the host
 // a holder.
 func (n *nodeRT) writeBackLine(p *sim.Proc, g int, r memspace.Region) {
-	start := p.Now()
+	wb := n.rt.cfg.Trace.Begin(trace.XferD2H, "writeback", n.id, g, p.Now())
 	n.devs[g].Copy(p, gpusim.D2H, r, n.hostStore, false)
-	n.rt.cfg.Trace.Record(trace.Span{Kind: trace.XferD2H, Name: "writeback",
-		Node: n.id, Dev: g, Start: start, End: p.Now(), Bytes: r.Size})
+	wb.EndBytes(p.Now(), r.Size)
 	n.caches[g].Clean(r)
 	n.dir.AddHolder(r, memspace.Host(n.id))
 	n.rt.writebacks++
@@ -619,10 +613,9 @@ func (n *nodeRT) fetchToGPU(p *sim.Proc, g int, r memspace.Region) {
 	// The data must be in this node's host memory first (Fermi-era CUDA:
 	// no peer-to-peer; remote data arrives over the wire into the host).
 	n.fetchToHost(p, r)
-	start := p.Now()
+	xfer := n.rt.cfg.Trace.Begin(trace.XferH2D, "fetch", n.id, g, p.Now())
 	n.devs[g].Copy(p, gpusim.H2D, r, n.hostStore, false)
-	n.rt.cfg.Trace.Record(trace.Span{Kind: trace.XferH2D, Name: "fetch",
-		Node: n.id, Dev: g, Start: start, End: p.Now(), Bytes: r.Size})
+	xfer.EndBytes(p.Now(), r.Size)
 	n.dir.AddHolder(r, loc)
 }
 

@@ -194,19 +194,30 @@ func TestResilienceCrashRunLeaksNoGoroutines(t *testing.T) {
 	_, results := runFaulted(t, cfg, 16, 3, 10*time.Millisecond)
 	checkAll(t, results, 3)
 	// Engine goroutines wind down asynchronously after Run returns; give
-	// them a moment before declaring a leak.
-	deadline := time.Now().Add(2 * time.Second)
-	for {
+	// them a moment before declaring a leak. The wait is an Eventually-
+	// style bounded retry (the pattern detwallclock teaches) rather than
+	// time.Now deadline arithmetic: the retry budget is explicit, and no
+	// wall-clock reads leak into the condition being tested.
+	settled := eventually(200, 10*time.Millisecond, func() bool {
 		goruntime.GC()
-		if n := goruntime.NumGoroutine(); n <= before {
-			return
-		}
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<16)
-			n := goruntime.Stack(buf, true)
-			t.Fatalf("goroutines leaked: %d before, %d after\n%s",
-				before, goruntime.NumGoroutine(), buf[:n])
-		}
-		time.Sleep(10 * time.Millisecond)
+		return goruntime.NumGoroutine() <= before
+	})
+	if !settled {
+		buf := make([]byte, 1<<16)
+		n := goruntime.Stack(buf, true)
+		t.Fatalf("goroutines leaked: %d before, %d after\n%s",
+			before, goruntime.NumGoroutine(), buf[:n])
 	}
+}
+
+// eventually polls cond up to attempts times, pausing interval between
+// tries, and reports whether cond ever held.
+func eventually(attempts int, interval time.Duration, cond func() bool) bool {
+	for i := 0; i < attempts; i++ {
+		if cond() {
+			return true
+		}
+		time.Sleep(interval)
+	}
+	return cond()
 }

@@ -1,0 +1,41 @@
+package detmap
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestKeysSorted(t *testing.T) {
+	m := map[int]string{3: "c", 1: "a", 2: "b", -7: "z"}
+	got := Keys(m)
+	want := []int{-7, 1, 2, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Keys = %v, want %v", got, want)
+	}
+	if got := Keys(map[string]int(nil)); len(got) != 0 {
+		t.Fatalf("Keys(nil) = %v, want empty", got)
+	}
+}
+
+func TestKeysDefinedKeyType(t *testing.T) {
+	type id int64
+	m := map[id]bool{9: true, 4: true}
+	if got := Keys(m); got[0] != 4 || got[1] != 9 {
+		t.Fatalf("Keys = %v, want [4 9]", got)
+	}
+}
+
+func TestKeysFunc(t *testing.T) {
+	type loc struct{ node, dev int }
+	m := map[loc]bool{{1, 0}: true, {0, 2}: true, {0, 1}: true}
+	got := KeysFunc(m, func(a, b loc) bool {
+		if a.node != b.node {
+			return a.node < b.node
+		}
+		return a.dev < b.dev
+	})
+	want := []loc{{0, 1}, {0, 2}, {1, 0}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("KeysFunc = %v, want %v", got, want)
+	}
+}

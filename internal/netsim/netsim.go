@@ -169,6 +169,7 @@ func (f *Fabric) Send(p *sim.Proc, msg Message) time.Duration {
 		// wait graph is acyclic and the pairwise acquisition cannot
 		// deadlock.
 		src.tx.Acquire(p)
+		//ompss:simblock-ok every Send acquires TX before RX, so the cross-process wait graph is acyclic
 		dst.rx.Acquire(p)
 		p.Sleep(ser)
 		src.tx.Release()

@@ -111,6 +111,47 @@ func (r *Recorder) Record(s Span) {
 	r.spans = append(r.spans, s)
 }
 
+// Open is an in-flight span: the handle Recorder.Begin returns and one
+// of End/EndBytes/EndNonEmpty closes. It is a plain value — beginning a
+// span allocates nothing, and on a nil recorder the whole pair is a
+// no-op — so instrumentation sites need no guards. The tracepair
+// analyzer (ompss-lint) statically checks that every Begin reaches a
+// close on all paths.
+type Open struct {
+	r    *Recorder
+	span Span
+}
+
+// Begin opens a span at start. Nothing is recorded until the returned
+// handle is closed with End, EndBytes or EndNonEmpty.
+func (r *Recorder) Begin(kind Kind, name string, node, dev int, start sim.Time) Open {
+	return Open{r: r, span: Span{Kind: kind, Name: name, Node: node, Dev: dev, Start: start}}
+}
+
+// End closes the span at end and records it.
+func (o Open) End(end sim.Time) {
+	o.span.End = end
+	o.r.Record(o.span)
+}
+
+// EndBytes closes the span at end, attaching its byte payload.
+func (o Open) EndBytes(end sim.Time, bytes uint64) {
+	o.span.End = end
+	o.span.Bytes = bytes
+	o.r.Record(o.span)
+}
+
+// EndNonEmpty closes the span at end, recording it only if it has
+// positive length — for phases that often take zero virtual time (a
+// fully-cached staging phase) and would otherwise litter the trace
+// with empty spans.
+func (o Open) EndNonEmpty(end sim.Time) {
+	if end <= o.span.Start {
+		return
+	}
+	o.End(end)
+}
+
 // Spans returns all spans sorted by start time (stable on ties).
 func (r *Recorder) Spans() []Span {
 	if r == nil {
