@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet fmt build test lint race bench baseline resilience
+.PHONY: check vet fmt build test lint race bench baseline resilience cover bench-guard
 
 ## check: gofmt + go vet + build + ompss-lint + full test suite (the tier-1 gate)
 check: fmt vet build lint test
@@ -42,3 +42,13 @@ bench:
 ## baseline: time `ompss-bench -experiment all -quick` into BENCH_harness.json
 baseline:
 	sh scripts/perf_baseline.sh
+
+## bench-guard: rerun the quick suite and fail on wall-clock or armed-overhead
+## regression vs BENCH_harness.json (non-required CI job; wide tolerance)
+bench-guard:
+	sh scripts/bench_guard.sh
+
+## cover: full test suite with a coverage profile and per-function summary
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -n 1

@@ -114,6 +114,8 @@ var scopedPkgs = []string{
 	"internal/faults",
 	"internal/memspace",
 	"internal/task",
+	"internal/metrics",
+	"internal/trace",
 }
 
 // InScope reports whether pkgPath is one of the determinism-scoped

@@ -43,3 +43,12 @@ func (o Open) EndBytes(end int64, bytes uint64) {}
 
 // EndNonEmpty closes the span if it has positive length.
 func (o Open) EndNonEmpty(end int64) {}
+
+// EndTask closes the span tagged with a task id.
+func (o Open) EndTask(end int64, task int64) {}
+
+// EndRegion closes the span tagged with a region address and payload.
+func (o Open) EndRegion(end int64, region uint64, bytes uint64) {}
+
+// Edge records a dependency arc.
+func (r *Recorder) Edge(pred, succ int64) {}

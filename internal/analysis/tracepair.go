@@ -22,6 +22,7 @@ var TracePair = &Analyzer{
 // traceCloseFuncs are the trace.Open methods that record the span.
 var traceCloseFuncs = map[string]bool{
 	"End": true, "EndBytes": true, "EndNonEmpty": true,
+	"EndTask": true, "EndRegion": true,
 }
 
 func runTracePair(pass *Pass) error {

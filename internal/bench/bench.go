@@ -40,6 +40,14 @@ type Options struct {
 	// output is bit-identical at any worker count. 0 or 1 runs
 	// sequentially; negative uses GOMAXPROCS.
 	Parallel int
+
+	// Trace, when non-nil, records the execution timeline of each
+	// experiment's designated grid point (currently fig10's largest-node
+	// OmpSs run; other experiments record nothing). Exactly one simulated
+	// run writes the recorder, so it is safe at any Parallel setting, and
+	// recording does not perturb virtual time: the traced run's rows are
+	// bit-identical to an untraced run's.
+	Trace *ompss.Trace
 }
 
 // workers resolves Parallel to a concrete worker count.

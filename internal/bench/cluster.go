@@ -68,10 +68,14 @@ func Fig10(o Options) ([]Row, error) {
 	p.Init = apps.InitSMP
 	var pts []point
 	for _, nodes := range nodeCounts {
+		cfg := bestClusterMatmulConfig(nodes)
+		if o.Trace != nil && nodes == nodeCounts[len(nodeCounts)-1] {
+			cfg.Trace = o.Trace
+		}
 		pts = append(pts, point{
 			config: fmt.Sprintf("%dnode ompss", nodes),
 			run: func() (float64, string, error) {
-				res, err := apps.MatmulOmpSs(bestClusterMatmulConfig(nodes), p)
+				res, err := apps.MatmulOmpSs(cfg, p)
 				return res.Metric, res.MetricName, err
 			},
 		}, point{

@@ -19,6 +19,7 @@ import (
 
 	"github.com/bsc-repro/ompss/internal/detmap"
 	"github.com/bsc-repro/ompss/internal/memspace"
+	"github.com/bsc-repro/ompss/internal/metrics"
 	"github.com/bsc-repro/ompss/internal/task"
 )
 
@@ -253,7 +254,20 @@ type Cache struct {
 	Hits      int
 	Misses    int
 	Evictions int
+
+	ins Instruments
 }
+
+// Instruments mirrors the cache's counters into a metrics registry so
+// hit/miss/eviction rates can be sampled mid-run. Nil counters no-op.
+type Instruments struct {
+	Hits      *metrics.Counter
+	Misses    *metrics.Counter
+	Evictions *metrics.Counter
+}
+
+// Instrument attaches registry counters to the cache.
+func (c *Cache) Instrument(ins Instruments) { c.ins = ins }
 
 // NewCache returns a cache for device loc with the given byte capacity.
 func NewCache(loc memspace.Location, policy Policy, capacity uint64) *Cache {
@@ -280,12 +294,14 @@ func (c *Cache) Lookup(r memspace.Region) *Line {
 	l, ok := c.lines[r.Addr]
 	if !ok {
 		c.Misses++
+		c.ins.Misses.Inc()
 		return nil
 	}
 	if l.Region != r {
 		panic(fmt.Sprintf("coherence: cache line mismatch %v vs %v", l.Region, r))
 	}
 	c.Hits++
+	c.ins.Hits.Inc()
 	c.clock++
 	l.lru = c.clock
 	return l
@@ -360,6 +376,7 @@ func (c *Cache) Remove(r memspace.Region) {
 	delete(c.lines, r.Addr)
 	c.used -= r.Size
 	c.Evictions++
+	c.ins.Evictions.Inc()
 }
 
 // Pin prevents eviction of r while a task uses it.

@@ -101,7 +101,7 @@ func (rt *Runtime) registerMasterHandlers() {
 			}
 		}
 		cl.outstanding[node]--
-		rt.remoteRun++
+		rt.met.remoteRun.Inc()
 		if ft := rt.ft; ft != nil {
 			if done, rec := ft.recoveryDone[t.ID]; rec {
 				// A re-executed producer: the graph retired it long ago;
@@ -206,7 +206,7 @@ func (rt *Runtime) commLoop(p *sim.Proc, thread, threads int) {
 				})
 			} else {
 				if cl.outstanding[k] > 1 {
-					rt.presends++
+					rt.met.presends.Inc()
 				}
 				k := k
 				rt.e.Go(fmt.Sprintf("dispatch:%s->node%d", t.Name, k), func(dp *sim.Proc) {
@@ -450,8 +450,9 @@ func (rt *Runtime) stageToNodeOnce(p *sim.Proc, r memspace.Region, k int) (ok, s
 			return false, false
 		}
 		rt.cfg.Trace.Record(trace.Span{Kind: trace.NetSend, Name: "s->s",
-			Node: src.Node, Dev: -1, Start: start, End: p.Now(), Bytes: r.Size})
-		rt.bytesStoS += r.Size
+			Node: src.Node, Dev: -1, Start: start, End: p.Now(),
+			Bytes: r.Size, Region: r.Addr, Peer: k})
+		rt.met.bytesStoS.Add(int64(r.Size))
 		m.dir.AddHolder(r, memspace.Host(k))
 		return true, true
 	}
@@ -480,8 +481,9 @@ func (rt *Runtime) sendMasterToNode(p *sim.Proc, r memspace.Region, k int) bool 
 		return false
 	}
 	rt.cfg.Trace.Record(trace.Span{Kind: trace.NetSend, Name: "m->s",
-		Node: 0, Dev: -1, Start: start, End: p.Now(), Bytes: r.Size})
-	rt.bytesMtoS += r.Size
+		Node: 0, Dev: -1, Start: start, End: p.Now(),
+		Bytes: r.Size, Region: r.Addr, Peer: k})
+	rt.met.bytesMtoS.Add(int64(r.Size))
 	m.dir.AddHolder(r, memspace.Host(k))
 	return true
 }
@@ -539,8 +541,9 @@ func (rt *Runtime) pullToMaster(p *sim.Proc, r memspace.Region, j int) bool {
 	// The pull is a network transfer like its m->s and s->s siblings and
 	// gets the same span; it was the one send path missing from the trace.
 	rt.cfg.Trace.Record(trace.Span{Kind: trace.NetSend, Name: "s->m",
-		Node: j, Dev: -1, Start: start, End: p.Now(), Bytes: r.Size})
-	rt.bytesMtoS += r.Size
+		Node: j, Dev: -1, Start: start, End: p.Now(),
+		Bytes: r.Size, Region: r.Addr, Peer: 0})
+	rt.met.bytesMtoS.Add(int64(r.Size))
 	return true
 }
 

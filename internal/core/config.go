@@ -16,6 +16,7 @@ import (
 	"github.com/bsc-repro/ompss/internal/coherence"
 	"github.com/bsc-repro/ompss/internal/faults"
 	"github.com/bsc-repro/ompss/internal/hw"
+	"github.com/bsc-repro/ompss/internal/metrics"
 	"github.com/bsc-repro/ompss/internal/sched"
 	"github.com/bsc-repro/ompss/internal/trace"
 )
@@ -95,9 +96,15 @@ type Config struct {
 	Validate bool
 
 	// Trace, when non-nil, records an execution timeline (task runs, data
-	// transfers, network sends) for inspection, Gantt rendering or Paraver
-	// export. See internal/trace.
+	// transfers, network sends) for inspection, Gantt rendering, Paraver or
+	// Perfetto export and critical-path analysis. See internal/trace.
 	Trace *trace.Recorder
+
+	// Metrics is the registry the runtime's typed instruments live in
+	// (counters, queue-depth gauges, virtual-time histograms — see
+	// internal/metrics). Nil gets a private registry, so instruments always
+	// record; supply one to snapshot mid-run or to aggregate across runs.
+	Metrics *metrics.Registry
 
 	// CPUWorkers is the number of SMP worker threads per node; 0 derives
 	// it from the node spec (cores minus one per GPU manager minus one
@@ -135,6 +142,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CommThreads <= 0 {
 		c.CommThreads = 1
+	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.New()
 	}
 	if len(c.Cluster.Nodes) == 0 {
 		panic("core: Config.Cluster has no nodes")
@@ -201,6 +211,10 @@ type Stats struct {
 	DeadNodes          int     // nodes declared dead
 	TasksReexecuted    int     // tasks re-run on survivors during recovery
 	RecoverySeconds    float64 // virtual time from first death to last rebuild
+
+	// Metrics is the full registry snapshot the summary fields above were
+	// derived from, in deterministic instrument order.
+	Metrics []metrics.Sample
 }
 
 // Utilization returns average GPU compute utilization in [0,1].

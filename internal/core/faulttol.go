@@ -31,7 +31,6 @@ type ftState struct {
 	missThreshold int
 
 	dead       []bool
-	deadCount  int
 	pongSince  []bool // a pong arrived since the last probe round
 	missStreak []int  // consecutive unanswered probes
 
@@ -61,10 +60,6 @@ type ftState struct {
 	// rebuilt, keyed by region address. Normal tasks touching a fenced
 	// region are held back by clusterCanRun until the rebuild completes.
 	restoreEvents map[uint64]*sim.Event
-
-	retries  int
-	hbMisses int
-	reexecs  int
 
 	haveRecovered bool
 	recoverStart  sim.Time
@@ -110,7 +105,7 @@ func (rt *Runtime) armFaultTolerance() {
 			AckTimeout:  ft.ackTimeout,
 			MaxAttempts: ft.maxAttempts,
 			OnRetry: func(to int, handler string, attempt int) {
-				ft.retries++
+				rt.met.retries.Inc()
 				now := rt.e.Now()
 				rt.cfg.Trace.Record(trace.Span{Kind: trace.Retry,
 					Name: fmt.Sprintf("%s->node%d#%d", handler, to, attempt),
@@ -163,7 +158,7 @@ func (rt *Runtime) spawnHeartbeat() {
 						ft.missStreak[k] = 0
 					} else {
 						ft.missStreak[k]++
-						ft.hbMisses++
+						rt.met.hbMisses.Inc()
 						now := p.Now()
 						rt.cfg.Trace.Record(trace.Span{Kind: trace.Heartbeat,
 							Name: fmt.Sprintf("miss:node%d#%d", k, ft.missStreak[k]),
@@ -193,7 +188,7 @@ func (rt *Runtime) nodeDead(k int, reason string) {
 		return
 	}
 	ft.dead[k] = true
-	ft.deadCount++
+	rt.met.deadNodes.Inc()
 	m := rt.master()
 	now := rt.e.Now()
 	if !ft.haveRecovered {
@@ -233,7 +228,7 @@ func (rt *Runtime) nodeDead(k int, reason string) {
 		requeue = append(requeue, ft.inflightTask[id])
 		delete(ft.inflightNode, id)
 		delete(ft.inflightTask, id)
-		ft.reexecs++
+		rt.met.reexecs.Inc()
 	}
 	for _, t := range requeue {
 		rt.clSch.Submit(t, -1)
@@ -304,7 +299,7 @@ func (rt *Runtime) recoverLost(k int) {
 			if !running {
 				done = sim.NewEvent(rt.e)
 				ft.recoveryDone[t.ID] = done
-				ft.reexecs++
+				rt.met.reexecs.Inc()
 				rt.clSch.Submit(t, -1)
 				m.signalWork()
 			}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/bsc-repro/ompss/internal/memspace"
+	"github.com/bsc-repro/ompss/internal/metrics"
+	"github.com/bsc-repro/ompss/internal/task"
+	"github.com/bsc-repro/ompss/internal/trace"
+)
+
+// metricsFixtureRun executes a small cluster workload with an external
+// registry and trace recorder attached, returning all three outputs.
+func metricsFixtureRun(t *testing.T) (Stats, *metrics.Registry, *trace.Recorder) {
+	t.Helper()
+	cfg := baseCfg(2, 1)
+	cfg.Prefetch = true
+	reg := metrics.New()
+	rec := trace.New()
+	cfg.Metrics = reg
+	cfg.Trace = rec
+	rt := New(cfg)
+	stats, err := rt.Run(func(mc *MainCtx) {
+		var regs []memspace.Region
+		for i := 0; i < 4; i++ {
+			r := mc.Alloc(1 << 16)
+			mc.InitSeq(r, nil)
+			regs = append(regs, r)
+		}
+		for round := 0; round < 2; round++ {
+			for i, r := range regs {
+				mc.Submit(TaskDef{Name: fmt.Sprintf("g%d_%d", round, i), Device: task.CUDA,
+					Deps: []task.Dep{inoutDep(r)},
+					Work: incWork{r: r, delta: 1, cost: time.Duration(i+1) * time.Millisecond}})
+			}
+		}
+		mc.Submit(TaskDef{Name: "cpu", Device: task.SMP,
+			Deps: []task.Dep{inoutDep(regs[0])},
+			Work: incWork{r: regs[0], delta: 1, cost: time.Millisecond}})
+		mc.TaskWait()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats, reg, rec
+}
+
+func TestMetricsAgreeWithStats(t *testing.T) {
+	stats, reg, _ := metricsFixtureRun(t)
+	if len(stats.Metrics) == 0 {
+		t.Fatal("Stats.Metrics snapshot is empty")
+	}
+	// The typed instruments and the derived Stats fields must agree: both
+	// were produced by the same counters.
+	var tasks, hits, misses int64
+	for _, s := range stats.Metrics {
+		if strings.HasPrefix(s.ID, "tasks_total{") {
+			tasks += s.Value
+		}
+		if strings.HasPrefix(s.ID, "cache_hits_total{") {
+			hits += s.Value
+		}
+		if strings.HasPrefix(s.ID, "cache_misses_total{") {
+			misses += s.Value
+		}
+	}
+	if want := int64(stats.TasksSMP + stats.TasksCUDA); tasks != want {
+		t.Fatalf("tasks_total = %d, Stats says %d", tasks, want)
+	}
+	if hits != int64(stats.CacheHits) || misses != int64(stats.CacheMisses) {
+		t.Fatalf("cache counters %d/%d, Stats says %d/%d",
+			hits, misses, stats.CacheHits, stats.CacheMisses)
+	}
+	// Queue-depth gauges drain to zero at completion but keep a high-water
+	// mark; histograms saw every task run.
+	var sawQueue, sawHist bool
+	for _, s := range stats.Metrics {
+		if strings.HasPrefix(s.ID, "sched_queue_depth{") {
+			sawQueue = true
+			if s.Value != 0 {
+				t.Fatalf("queue %s did not drain: %d", s.ID, s.Value)
+			}
+			if s.Max == 0 {
+				t.Fatalf("queue %s never saw a task", s.ID)
+			}
+		}
+		if strings.HasPrefix(s.ID, "task_run_ns{") && s.Value > 0 {
+			sawHist = true
+		}
+	}
+	if !sawQueue || !sawHist {
+		t.Fatalf("missing instruments (queue=%v hist=%v) in snapshot", sawQueue, sawHist)
+	}
+	// Mid-run and post-run snapshots come from the same live registry.
+	if got := len(reg.Snapshot()); got != len(stats.Metrics) {
+		t.Fatalf("registry snapshot has %d samples, Stats captured %d", got, len(stats.Metrics))
+	}
+}
+
+func TestMetricsTextReplaysBitIdentically(t *testing.T) {
+	var outs []string
+	for i := 0; i < 2; i++ {
+		_, reg, _ := metricsFixtureRun(t)
+		var buf bytes.Buffer
+		if err := reg.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, buf.String())
+	}
+	if outs[0] != outs[1] {
+		t.Fatalf("metrics text diverged between identical runs:\n%s\nvs\n%s", outs[0], outs[1])
+	}
+}
+
+func TestTraceEdgesAndCriticalPathFromRun(t *testing.T) {
+	stats, _, rec := metricsFixtureRun(t)
+	if len(rec.Edges()) == 0 {
+		t.Fatal("no dependence arcs mirrored into the trace")
+	}
+	rep := rec.CriticalPath(5)
+	if rep.Tasks != stats.TasksSMP+stats.TasksCUDA {
+		t.Fatalf("critical path analyzed %d tasks, %d ran", rep.Tasks, stats.TasksSMP+stats.TasksCUDA)
+	}
+	if len(rep.Chain) < 2 {
+		t.Fatalf("chain too short: %+v", rep.Chain)
+	}
+	// Each region's 2 rounds + the cpu task form dependent chains; the
+	// makespan must be fully decomposed.
+	total := rep.Compute + rep.Transfer + rep.Idle
+	if total != time.Duration(rep.Makespan) {
+		t.Fatalf("compute+transfer+idle %v != makespan %v", total, time.Duration(rep.Makespan))
+	}
+	var a, b bytes.Buffer
+	if err := rec.WritePerfetto(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.WritePerfetto(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("perfetto re-export differs")
+	}
+}

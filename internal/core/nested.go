@@ -75,6 +75,10 @@ func (n *nodeRT) runSpawner(p *sim.Proc, t *task.Task) {
 			}
 		})
 	})
+	if tr := n.rt.cfg.Trace; tr != nil {
+		// Nested extents contribute their sibling arcs to the same trace.
+		lc.graph.OnArc = func(pred, succ task.ID) { tr.Edge(int64(pred), int64(succ)) }
+	}
 	t.Spawner(lc)
 	lc.Wait()
 }

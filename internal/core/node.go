@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"github.com/bsc-repro/ompss/internal/coherence"
@@ -60,8 +61,7 @@ type nodeRT struct {
 	redPartials  map[uint64][]int
 	redCombiners map[uint64]task.Combiner
 
-	tasksSMP  int
-	tasksCUDA int
+	met nodeMetrics
 }
 
 type inflightKey struct {
@@ -85,20 +85,26 @@ func newNodeRT(rt *Runtime, id int, spec hw.NodeSpec) *nodeRT {
 		redCombiners: make(map[uint64]task.Combiner),
 		prefetched:   make([]*task.Task, len(spec.GPUs)),
 		workSignal:   sim.NewEvent(rt.e),
+		met:          newNodeMetrics(rt.cfg.Metrics, id),
 	}
 	if rt.cfg.Validate {
 		n.hostStore = memspace.NewStore(memspace.Host(id))
 	}
 	n.ep = gasnet.NewEndpoint(rt.fabric, id, n.hostStore)
+	n.ep.Instrument(endpointInstruments(rt.cfg.Metrics, id))
 	for g, gs := range spec.GPUs {
 		dev := gpusim.New(rt.e, gs, memspace.GPU(id, g), rt.cfg.Overlap, rt.cfg.Validate)
+		dev.Instrument(deviceInstruments(rt.cfg.Metrics, id, g))
 		n.devs = append(n.devs, dev)
 		n.ctxs = append(n.ctxs, cuda.NewContext(rt.e, dev))
 		capacity := uint64(float64(gs.MemBytes) * (1 - rt.cfg.GPUCacheHeadroom))
-		n.caches = append(n.caches, coherence.NewCache(memspace.GPU(id, g), rt.cfg.CachePolicy, capacity))
+		cache := coherence.NewCache(memspace.GPU(id, g), rt.cfg.CachePolicy, capacity)
+		cache.Instrument(cacheInstruments(rt.cfg.Metrics, id, g))
+		n.caches = append(n.caches, cache)
 	}
 	n.places = 1 + len(spec.GPUs)
-	n.sch = sched.New(rt.cfg.Scheduler, n.places, n.affinityScore, rt.cfg.Steal, n.canRun)
+	n.sch = sched.NewWithHooks(rt.cfg.Scheduler, n.places, n.affinityScore, rt.cfg.Steal, n.canRun,
+		schedHooks(rt.cfg.Metrics, "node"+strconv.Itoa(id)))
 	return n
 }
 
@@ -205,9 +211,11 @@ func (n *nodeRT) runSMP(p *sim.Proc, t *task.Task) {
 	copies := t.Copies()
 	// Inputs must be valid in host memory (SMP tasks use copy clauses too).
 	n.stageRegions(p, t, hostDevKey)
-	run := n.rt.cfg.Trace.Begin(trace.TaskRun, t.Name, n.id, -1, p.Now())
+	start := p.Now()
+	run := n.rt.cfg.Trace.Begin(trace.TaskRun, t.Name, n.id, -1, start)
 	p.Sleep(n.jitter(t.ID, t.Work.CPUCost(n.spec)))
-	run.End(p.Now())
+	run.EndTask(p.Now(), int64(t.ID))
+	n.met.taskRunNS.Observe(sim.Duration(p.Now() - start))
 	if n.rt.cfg.Validate {
 		t.Work.Run(n.hostStore)
 	}
@@ -225,12 +233,12 @@ func (n *nodeRT) runSMP(p *sim.Proc, t *task.Task) {
 		// its children must not occupy the only executor).
 		n.rt.e.Go(fmt.Sprintf("spawner:%s", t.Name), func(sp *sim.Proc) {
 			n.runSpawner(sp, t)
-			n.tasksSMP++
+			n.met.tasksSMP.Inc()
 			n.completeLocal(sp, t, 0)
 		})
 		return
 	}
-	n.tasksSMP++
+	n.met.tasksSMP.Inc()
 	n.completeLocal(p, t, 0)
 }
 
@@ -271,14 +279,17 @@ func (n *nodeRT) gpuManagerLoop(p *sim.Proc, g int) {
 			}
 			p.Sleep(taskOverhead)
 			n.registerReduction(t)
-			stage := n.rt.cfg.Trace.Begin(trace.Stage, t.Name, n.id, g, p.Now())
+			stageStart := p.Now()
+			stage := n.rt.cfg.Trace.Begin(trace.Stage, t.Name, n.id, g, stageStart)
 			n.stageRegions(p, t, g)
 			stage.EndNonEmpty(p.Now())
+			n.met.stageNS.Observe(sim.Duration(p.Now() - stageStart))
 		}
 		dev := n.devs[g]
 		work := t.Work
 		cost := n.jitter(t.ID, work.GPUCost(dev.Spec()))
-		kernel := n.rt.cfg.Trace.Begin(trace.TaskRun, t.Name, n.id, g, p.Now())
+		kernelStart := p.Now()
+		kernel := n.rt.cfg.Trace.Begin(trace.TaskRun, t.Name, n.id, g, kernelStart)
 		kernelDone := dev.LaunchAsync(t.Name, cost, func(devStore *memspace.Store) {
 			if n.rt.cfg.Validate {
 				work.Run(devStore)
@@ -288,7 +299,9 @@ func (n *nodeRT) gpuManagerLoop(p *sim.Proc, g int) {
 			// Once a kernel is launched, request the next task and start
 			// moving its data so it is resident by the time it can run.
 			if nt := n.sch.Pop(place); nt != nil {
+				n.met.prefetchPops.Inc()
 				if n.tryStage(p, nt, g) {
+					n.met.prefetchStaged.Inc()
 					n.prefetched[g] = nt
 				} else {
 					// Not enough free memory alongside the running task:
@@ -298,19 +311,20 @@ func (n *nodeRT) gpuManagerLoop(p *sim.Proc, g int) {
 			}
 		}
 		kernelDone.Wait(p)
-		kernel.End(p.Now())
+		kernel.EndTask(p.Now(), int64(t.ID))
+		n.met.taskRunNS.Observe(sim.Duration(p.Now() - kernelStart))
 		n.publishGPUTask(p, g, t)
 		if t.Spawner != nil {
 			// Detached: the nested tasks need this very GPU manager.
 			t := t
 			n.rt.e.Go(fmt.Sprintf("spawner:%s", t.Name), func(sp *sim.Proc) {
 				n.runSpawner(sp, t)
-				n.tasksCUDA++
+				n.met.tasksCUDA.Inc()
 				n.completeLocal(sp, t, 1+g)
 			})
 			continue
 		}
-		n.tasksCUDA++
+		n.met.tasksCUDA.Inc()
 		n.completeLocal(p, t, 1+g)
 	}
 }
@@ -585,10 +599,10 @@ func (n *nodeRT) dropLine(g int, r memspace.Region) {
 func (n *nodeRT) writeBackLine(p *sim.Proc, g int, r memspace.Region) {
 	wb := n.rt.cfg.Trace.Begin(trace.XferD2H, "writeback", n.id, g, p.Now())
 	n.devs[g].Copy(p, gpusim.D2H, r, n.hostStore, false)
-	wb.EndBytes(p.Now(), r.Size)
+	wb.EndRegion(p.Now(), r.Addr, r.Size)
 	n.caches[g].Clean(r)
 	n.dir.AddHolder(r, memspace.Host(n.id))
-	n.rt.writebacks++
+	n.rt.met.writebacks.Inc()
 }
 
 // fetchToGPU brings the current version of r into GPU g, assuming the cache
@@ -615,7 +629,7 @@ func (n *nodeRT) fetchToGPU(p *sim.Proc, g int, r memspace.Region) {
 	n.fetchToHost(p, r)
 	xfer := n.rt.cfg.Trace.Begin(trace.XferH2D, "fetch", n.id, g, p.Now())
 	n.devs[g].Copy(p, gpusim.H2D, r, n.hostStore, false)
-	xfer.EndBytes(p.Now(), r.Size)
+	xfer.EndRegion(p.Now(), r.Addr, r.Size)
 	n.dir.AddHolder(r, loc)
 }
 
@@ -665,7 +679,7 @@ func (n *nodeRT) fetchToHostOnce(p *sim.Proc, r memspace.Region, combine bool) b
 			n.devs[h.Dev].Copy(p, gpusim.D2H, r, n.hostStore, false)
 			n.caches[h.Dev].Clean(r)
 			n.dir.AddHolder(r, host)
-			n.rt.writebacks++
+			n.rt.met.writebacks.Inc()
 			return true
 		}
 	}
@@ -745,7 +759,7 @@ func (n *nodeRT) combineReduction(p *sim.Proc, r memspace.Region) {
 		}
 		n.caches[g].Unpin(r)
 		n.dropLine(g, r)
-		n.rt.writebacks++
+		n.rt.met.writebacks.Inc()
 	}
 	// The host copy is now the combined current version.
 	n.produced(r, memspace.Host(n.id))

@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"github.com/bsc-repro/ompss/internal/depgraph"
 	"github.com/bsc-repro/ompss/internal/memspace"
+	"github.com/bsc-repro/ompss/internal/metrics"
 	"github.com/bsc-repro/ompss/internal/netsim"
 	"github.com/bsc-repro/ompss/internal/sched"
 	"github.com/bsc-repro/ompss/internal/sim"
@@ -31,12 +33,9 @@ type Runtime struct {
 	// successors for the "dependencies" policy.
 	releasePlace int
 
-	// Cross-cutting counters not owned by a device or interface.
-	presends   int
-	writebacks int
-	bytesMtoS  uint64
-	bytesStoS  uint64
-	remoteRun  int
+	// met holds the cross-cutting instruments not owned by a device or
+	// interface; they live in cfg.Metrics and are readable mid-run.
+	met *rtMetrics
 
 	cl *clusterState
 	// clSch is the cluster-level scheduler (nil on single-node machines):
@@ -60,6 +59,7 @@ func New(cfg Config) *Runtime {
 		alloc:        memspace.NewAllocator(),
 		taskDone:     make(map[task.ID]*sim.Event),
 		releasePlace: -1,
+		met:          newRTMetrics(cfg.Metrics),
 	}
 	rt.fabric = netsim.New(e, cfg.Cluster.Net, len(cfg.Cluster.Nodes))
 	for i, spec := range cfg.Cluster.Nodes {
@@ -69,12 +69,18 @@ func New(cfg Config) *Runtime {
 		// No work stealing between node queues at the cluster level: the
 		// paper's runtime does not steal between slave nodes (III.D.1), and
 		// cluster-level steals would migrate a task's data with it.
-		rt.clSch = sched.New(cfg.Scheduler, len(rt.nodes), rt.clusterScore, false, rt.clusterCanRun)
+		rt.clSch = sched.NewWithHooks(cfg.Scheduler, len(rt.nodes), rt.clusterScore, false,
+			rt.clusterCanRun, schedHooks(cfg.Metrics, "cluster"))
 	}
 	if cfg.Faults != nil {
 		rt.armFaultTolerance()
 	}
 	rt.graph = depgraph.New(rt.onReady)
+	if cfg.Trace != nil {
+		// Mirror every dependence arc into the trace so the critical-path
+		// analyzer sees the graph the scheduler saw.
+		rt.graph.OnArc = func(pred, succ task.ID) { cfg.Trace.Edge(int64(pred), int64(succ)) }
+	}
 	rt.idleEvt = sim.NewEvent(e)
 	rt.idleEvt.Trigger() // no tasks yet
 	return rt
@@ -337,34 +343,46 @@ func (rt *Runtime) flushAll(p *sim.Proc) {
 func (rt *Runtime) collectStats() Stats {
 	s := Stats{
 		ElapsedSeconds: rt.e.Now().Seconds(),
-		Presends:       rt.presends,
-		Writebacks:     rt.writebacks,
-		BytesMtoS:      rt.bytesMtoS,
-		BytesStoS:      rt.bytesStoS,
-		TasksRemote:    rt.remoteRun,
+		Presends:       int(rt.met.presends.Value()),
+		Writebacks:     int(rt.met.writebacks.Value()),
+		BytesMtoS:      uint64(rt.met.bytesMtoS.Value()),
+		BytesStoS:      uint64(rt.met.bytesStoS.Value()),
+		TasksRemote:    int(rt.met.remoteRun.Value()),
 	}
 	if rt.ft != nil {
 		is := rt.ft.inj.Stats()
 		s.FaultDropsInjected = is.Drops + is.CrashDrops
-		s.NetRetries = rt.ft.retries
-		s.HeartbeatMisses = rt.ft.hbMisses
-		s.DeadNodes = rt.ft.deadCount
-		s.TasksReexecuted = rt.ft.reexecs
+		s.NetRetries = int(rt.met.retries.Value())
+		s.HeartbeatMisses = int(rt.met.hbMisses.Value())
+		s.DeadNodes = int(rt.met.deadNodes.Value())
+		s.TasksReexecuted = int(rt.met.reexecs.Value())
 		if rt.ft.haveRecovered {
 			s.RecoverySeconds = (rt.ft.recoverEnd - rt.ft.recoverStart).Seconds()
 		}
 	}
+	elapsed := int64(rt.e.Now())
 	for _, n := range rt.nodes {
-		s.TasksPerNode = append(s.TasksPerNode, n.tasksSMP+n.tasksCUDA)
-		s.TasksSMP += n.tasksSMP
-		s.TasksCUDA += n.tasksCUDA
-		for _, d := range n.devs {
+		nodeTasks := int(n.met.tasksSMP.Value() + n.met.tasksCUDA.Value())
+		s.TasksPerNode = append(s.TasksPerNode, nodeTasks)
+		s.TasksSMP += int(n.met.tasksSMP.Value())
+		s.TasksCUDA += int(n.met.tasksCUDA.Value())
+		for g, d := range n.devs {
 			ds := d.Stats()
 			s.BytesH2D += ds.BytesH2D
 			s.BytesD2H += ds.BytesD2H
 			s.XfersH2D += ds.XfersH2D
 			s.XfersD2H += ds.XfersD2H
 			s.KernelBusySeconds += ds.KernelBusy.Seconds()
+			// Derived per-device time split: busy running kernels, stalled
+			// on DMA, idle otherwise (gauges, recomputed at each collect).
+			ls := []metrics.Label{metrics.L("node", strconv.Itoa(n.id)), metrics.L("gpu", strconv.Itoa(g))}
+			busy, dma := int64(ds.KernelBusy), int64(ds.DMABusy)
+			idle := elapsed - busy - dma
+			if idle < 0 {
+				idle = 0 // overlap mode: engines run concurrently
+			}
+			rt.cfg.Metrics.Gauge("gpu_stall_ns", ls...).Set(dma)
+			rt.cfg.Metrics.Gauge("gpu_idle_ns", ls...).Set(idle)
 		}
 		for _, c := range n.caches {
 			s.CacheHits += c.Hits
@@ -376,6 +394,7 @@ func (rt *Runtime) collectStats() Stats {
 		s.NetMsgs += fs.MsgsSent
 		s.NetMsgsDropped += fs.MsgsDropped
 	}
+	s.Metrics = rt.cfg.Metrics.Snapshot()
 	return s
 }
 

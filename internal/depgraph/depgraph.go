@@ -42,6 +42,11 @@ type Graph struct {
 
 	submitted int
 	finished  int
+
+	// OnArc, when non-nil, observes every arc actually created (after
+	// dedup and finished-pred filtering), in creation order. The runtime
+	// uses it to mirror the realized DAG into the trace recorder.
+	OnArc func(pred, succ task.ID)
 }
 
 // New returns an empty graph. onReady is invoked (synchronously) whenever a
@@ -93,7 +98,7 @@ func (g *Graph) region(r memspace.Region) *regionState {
 
 // addArc makes succ wait for pred unless pred already finished or the arc
 // exists.
-func addArc(pred, succ *node) {
+func (g *Graph) addArc(pred, succ *node) {
 	if pred == nil || pred.done || pred == succ {
 		return
 	}
@@ -103,6 +108,9 @@ func addArc(pred, succ *node) {
 	pred.succSet[succ.t.ID] = true
 	pred.successors = append(pred.successors, succ)
 	succ.waitCount++
+	if g.OnArc != nil {
+		g.OnArc(pred.t.ID, succ.t.ID)
+	}
 }
 
 // Submit adds t to the graph, wiring RAW/WAR/WAW arcs against earlier
@@ -120,27 +128,27 @@ func (g *Graph) Submit(t *task.Task) {
 		if d.Access == task.Red {
 			// Reductions wait for the previous writer and any readers of
 			// the old value, but not for each other.
-			addArc(rs.lastWriter, n)
+			g.addArc(rs.lastWriter, n)
 			for _, rd := range rs.readers {
-				addArc(rd, n)
+				g.addArc(rd, n)
 			}
 			rs.reducers = append(rs.reducers, n)
 			rs.readers = nil
 			continue
 		}
 		if d.Access.Reads() {
-			addArc(rs.lastWriter, n) // read-after-write
+			g.addArc(rs.lastWriter, n) // read-after-write
 			for _, rx := range rs.reducers {
-				addArc(rx, n) // read-after-reduction: combine must be possible
+				g.addArc(rx, n) // read-after-reduction: combine must be possible
 			}
 		}
 		if d.Access.Writes() {
-			addArc(rs.lastWriter, n) // write-after-write
+			g.addArc(rs.lastWriter, n) // write-after-write
 			for _, rd := range rs.readers {
-				addArc(rd, n) // write-after-read
+				g.addArc(rd, n) // write-after-read
 			}
 			for _, rx := range rs.reducers {
-				addArc(rx, n) // write-after-reduction
+				g.addArc(rx, n) // write-after-reduction
 			}
 		}
 		// Update region bookkeeping after arcs are in place.

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"github.com/bsc-repro/ompss/internal/memspace"
+	"github.com/bsc-repro/ompss/internal/metrics"
 	"github.com/bsc-repro/ompss/internal/netsim"
 	"github.com/bsc-repro/ompss/internal/sim"
 )
@@ -94,7 +95,23 @@ type Endpoint struct {
 	pending  map[ackKey]*sim.Event // in-flight reliable sends awaiting ack
 	seen     map[ackKey]bool       // delivered (sender, seq) pairs, for dedup
 	inFilter func(from int) bool   // nil, or inbound admission predicate
+
+	ins Instruments
 }
+
+// Instruments mirrors endpoint activity into a metrics registry. Nil
+// counters no-op; retransmissions and acks count separately from the
+// first transmission of each logical message.
+type Instruments struct {
+	MsgsSent   *metrics.Counter
+	BytesSent  *metrics.Counter
+	AcksSent   *metrics.Counter
+	Retries    *metrics.Counter
+	Duplicates *metrics.Counter // inbound duplicate deliveries suppressed
+}
+
+// Instrument attaches registry counters to the endpoint.
+func (ep *Endpoint) Instrument(ins Instruments) { ep.ins = ins }
 
 // NewEndpoint returns an endpoint for node on fabric f. store is the node's
 // host backing store (nil in cost-only mode).
@@ -179,6 +196,7 @@ func (ep *Endpoint) Start(e *sim.Engine) {
 				}
 				k := ackKey{w.am.From, w.seq}
 				if ep.seen[k] {
+					ep.ins.Duplicates.Inc()
 					if ep.rel != nil && ep.rel.OnDuplicate != nil {
 						ep.rel.OnDuplicate(w.am.From, w.am.Handler)
 					}
@@ -216,6 +234,7 @@ func (ep *Endpoint) Shutdown() {
 // control datagrams: tiny, non-occupying, best-effort — a lost ack is
 // repaired by the sender's retransmission and the receiver's dedup.
 func (ep *Endpoint) sendAck(p *sim.Proc, to int, seq uint64) {
+	ep.ins.AcksSent.Inc()
 	ep.f.Send(p, netsim.Message{
 		From: ep.node, To: to, Size: ackBytes, Control: true,
 		Payload: wireAM{
@@ -279,6 +298,8 @@ func (ep *Endpoint) send(p *sim.Proc, to int, handler string, args interface{}, 
 		},
 	}
 	if ep.rel == nil || to == ep.node {
+		ep.ins.MsgsSent.Inc()
+		ep.ins.BytesSent.Add(int64(m.Size))
 		ep.f.Send(p, m)
 		return true
 	}
@@ -296,9 +317,14 @@ func (ep *Endpoint) send(p *sim.Proc, to int, handler string, args interface{}, 
 		if ep.closed {
 			return false
 		}
-		if attempt > 1 && ep.rel.OnRetry != nil {
-			ep.rel.OnRetry(to, handler, attempt)
+		if attempt > 1 {
+			ep.ins.Retries.Inc()
+			if ep.rel.OnRetry != nil {
+				ep.rel.OnRetry(to, handler, attempt)
+			}
 		}
+		ep.ins.MsgsSent.Inc()
+		ep.ins.BytesSent.Add(int64(m.Size))
 		ep.f.Send(p, m)
 		if ack.WaitFor(p, timeout) {
 			return true

@@ -16,6 +16,7 @@ import (
 
 	"github.com/bsc-repro/ompss/internal/hw"
 	"github.com/bsc-repro/ompss/internal/memspace"
+	"github.com/bsc-repro/ompss/internal/metrics"
 	"github.com/bsc-repro/ompss/internal/sim"
 )
 
@@ -68,7 +69,22 @@ type Device struct {
 	store   *memspace.Store // nil in cost-only mode
 
 	stats Stats
+	ins   Instruments
 }
+
+// Instruments mirrors the device counters into a metrics registry so
+// per-device activity (kernels, DMA traffic, busy time) can be sampled
+// mid-run. Nil counters no-op. Busy times accumulate nanoseconds.
+type Instruments struct {
+	Kernels    *metrics.Counter
+	BytesH2D   *metrics.Counter
+	BytesD2H   *metrics.Counter
+	KernelBusy *metrics.Counter // ns the compute engine was occupied
+	DMABusy    *metrics.Counter // ns the DMA engines were occupied
+}
+
+// Instrument attaches registry counters to the device.
+func (d *Device) Instrument(ins Instruments) { d.ins = ins }
 
 // New returns a device for GPU dev of node at location loc. If validate is
 // true the device carries a backing store and kernels can really run.
@@ -177,6 +193,8 @@ func (d *Device) LaunchAsync(name string, cost time.Duration, body func(devStore
 		eng.Release()
 		d.stats.Kernels++
 		d.stats.KernelBusy += sim.Time(cost)
+		d.ins.Kernels.Inc()
+		d.ins.KernelBusy.Add(int64(cost))
 		if body != nil {
 			body(d.store)
 		}
@@ -210,14 +228,17 @@ func (d *Device) CopyAsync(dir Dir, r memspace.Region, hostStore *memspace.Store
 		p.Sleep(cost)
 		eng.Release()
 		d.stats.DMABusy += sim.Time(cost)
+		d.ins.DMABusy.Add(int64(cost))
 		switch dir {
 		case H2D:
 			d.stats.BytesH2D += r.Size
 			d.stats.XfersH2D++
+			d.ins.BytesH2D.Add(int64(r.Size))
 			memspace.CopyRegion(d.store, hostStore, r)
 		case D2H:
 			d.stats.BytesD2H += r.Size
 			d.stats.XfersD2H++
+			d.ins.BytesD2H.Add(int64(r.Size))
 			memspace.CopyRegion(hostStore, d.store, r)
 		}
 		done.Trigger()
@@ -245,6 +266,8 @@ func (d *Device) ReadBack(p *sim.Proc, r memspace.Region) []byte {
 	d.stats.DMABusy += sim.Time(cost)
 	d.stats.BytesD2H += r.Size
 	d.stats.XfersD2H++
+	d.ins.DMABusy.Add(int64(cost))
+	d.ins.BytesD2H.Add(int64(r.Size))
 	if d.store == nil {
 		return nil
 	}

@@ -20,6 +20,7 @@ package sched
 import (
 	"fmt"
 
+	"github.com/bsc-repro/ompss/internal/metrics"
 	"github.com/bsc-repro/ompss/internal/task"
 )
 
@@ -60,25 +61,40 @@ type Scheduler interface {
 	Len() int
 }
 
+// Hooks observes scheduler activity through registry instruments. Nil
+// instruments no-op, so the zero Hooks is valid.
+type Hooks struct {
+	// Queued tracks the live queue depth; its high-water mark (Gauge.Max)
+	// records the deepest backlog of the run.
+	Queued *metrics.Gauge
+	// Steals counts tasks taken from another place's local queue.
+	Steals *metrics.Counter
+}
+
 // New builds a scheduler with the given policy over places execution
 // places. score is required by the Affinity policy and ignored otherwise;
 // steal enables work stealing between affinity queues; canRun filters
 // task-place compatibility (nil means any place runs any task).
 func New(policy Policy, places int, score ScoreFn, steal bool, canRun CanRunFn) Scheduler {
+	return NewWithHooks(policy, places, score, steal, canRun, Hooks{})
+}
+
+// NewWithHooks is New with observation instruments attached.
+func NewWithHooks(policy Policy, places int, score ScoreFn, steal bool, canRun CanRunFn, h Hooks) Scheduler {
 	if canRun == nil {
 		canRun = func(int, *task.Task) bool { return true }
 	}
 	switch policy {
 	case BreadthFirst:
-		return &bfSched{canRun: canRun}
+		return &bfSched{canRun: canRun, hooks: h}
 	case Dependencies:
-		return &depSched{canRun: canRun, perPlace: make(map[int][]*entry)}
+		return &depSched{canRun: canRun, perPlace: make(map[int][]*entry), hooks: h}
 	case Affinity:
 		if score == nil {
 			panic("sched: Affinity policy requires a ScoreFn")
 		}
 		return &affSched{places: places, score: score, steal: steal, canRun: canRun,
-			local: make([][]*entry, places)}
+			local: make([][]*entry, places), hooks: h}
 	default:
 		panic(fmt.Sprintf("sched: unknown policy %q", policy))
 	}
@@ -139,14 +155,20 @@ func liveLen(q []*entry) int {
 type bfSched struct {
 	canRun CanRunFn
 	fifo   []*entry
+	hooks  Hooks
 }
 
 func (s *bfSched) Submit(t *task.Task, releasedBy int) {
 	s.fifo = append(s.fifo, &entry{t: t})
+	s.hooks.Queued.Add(1)
 }
 
 func (s *bfSched) Pop(place int) *task.Task {
-	return popFront(&s.fifo, func(t *task.Task) bool { return s.canRun(place, t) })
+	t := popFront(&s.fifo, func(t *task.Task) bool { return s.canRun(place, t) })
+	if t != nil {
+		s.hooks.Queued.Add(-1)
+	}
+	return t
 }
 
 func (s *bfSched) Drain(place int) []*task.Task { return nil }
@@ -158,11 +180,13 @@ type depSched struct {
 	canRun   CanRunFn
 	fifo     []*entry
 	perPlace map[int][]*entry
+	hooks    Hooks
 }
 
 func (s *depSched) Submit(t *task.Task, releasedBy int) {
 	e := &entry{t: t}
 	s.fifo = append(s.fifo, e)
+	s.hooks.Queued.Add(1)
 	if releasedBy >= 0 {
 		// The place that released this successor should pick it up next, to
 		// reuse the data the predecessor just produced.
@@ -175,10 +199,13 @@ func (s *depSched) Pop(place int) *task.Task {
 	q := s.perPlace[place]
 	t := popBack(&q, pred) // most recently released first
 	s.perPlace[place] = q
-	if t != nil {
-		return t
+	if t == nil {
+		t = popFront(&s.fifo, pred)
 	}
-	return popFront(&s.fifo, pred)
+	if t != nil {
+		s.hooks.Queued.Add(-1)
+	}
+	return t
 }
 
 // Drain forgets the dead place's successor hints; the entries stay live in
@@ -198,6 +225,7 @@ type affSched struct {
 	canRun CanRunFn
 	local  [][]*entry
 	global []*entry
+	hooks  Hooks
 }
 
 // bestPlace returns the place with the strictly highest score, or -1 when
@@ -221,6 +249,7 @@ func bestPlace(scores []uint64) int {
 
 func (s *affSched) Submit(t *task.Task, releasedBy int) {
 	e := &entry{t: t}
+	s.hooks.Queued.Add(1)
 	if p := bestPlace(s.score(t)); p >= 0 && p < s.places && s.canRun(p, t) {
 		s.local[p] = append(s.local[p], e)
 		return
@@ -232,10 +261,12 @@ func (s *affSched) Pop(place int) *task.Task {
 	pred := func(t *task.Task) bool { return s.canRun(place, t) }
 	if place >= 0 && place < s.places {
 		if t := popFront(&s.local[place], pred); t != nil {
+			s.hooks.Queued.Add(-1)
 			return t
 		}
 	}
 	if t := popFront(&s.global, pred); t != nil {
+		s.hooks.Queued.Add(-1)
 		return t
 	}
 	if !s.steal {
@@ -255,7 +286,12 @@ func (s *affSched) Pop(place int) *task.Task {
 	if victim < 0 {
 		return nil
 	}
-	return popBack(&s.local[victim], pred)
+	t := popBack(&s.local[victim], pred)
+	if t != nil {
+		s.hooks.Queued.Add(-1)
+		s.hooks.Steals.Inc()
+	}
+	return t
 }
 
 // Drain takes every live task queued locally at place, in queue order.
@@ -272,6 +308,7 @@ func (s *affSched) Drain(place int) []*task.Task {
 		}
 	}
 	s.local[place] = nil
+	s.hooks.Queued.Add(-int64(len(out)))
 	return out
 }
 

@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/bsc-repro/ompss/internal/sim"
+)
+
+// critFixture builds the hand-computed 5-task diamond-plus-tail graph:
+//
+//	       1 (0..10)
+//	      / \
+//	(10..30) 2   3 (12..20)      edges 1->2, 1->3
+//	      \ /
+//	       4 (32..50)            edges 2->4, 3->4
+//	       |
+//	       5 (55..70)            edge  4->5
+//
+// A transfer on node 0 covers [30,31] of the 2->4 wait and [50,53] of
+// the 4->5 wait. Hand computation:
+//
+//	realized chain: 5 <- 4 <- (pred finishing last: 2, end 30) <- 1
+//	makespan 70; compute 10+20+18+15 = 63
+//	waits: before 1: none; before 2: none (starts at 10 = 1's end);
+//	  before 4: [30,32) -> transfer 1, idle 1;
+//	  before 5: [50,55) -> transfer 3, idle 2.
+//	total transfer 4, idle 3; 63 + 4 + 3 = 70 = makespan.
+//
+// CPM with realized durations (1:10, 2:20, 3:8, 4:18, 5:15):
+//
+//	est:  1=0, 2=10, 3=10, 4=30, 5=48; makespan 63
+//	ect:  1=10, 2=30, 3=18, 4=48, 5=63
+//	lft:  5=63, 4=48, 3=30, 2=30, 1=10
+//	slack = lft-ect: 1,2,4,5 = 0; 3 = 12.
+func critFixture() *Recorder {
+	r := New()
+	add := func(id int64, start, end sim.Time) {
+		o := r.Begin(TaskRun, "t", 0, -1, start)
+		o.EndTask(end, id)
+	}
+	add(1, 0, 10)
+	add(2, 10, 30)
+	add(3, 12, 20)
+	add(4, 32, 50)
+	add(5, 55, 70)
+	r.Record(Span{Kind: XferH2D, Name: "fetch", Node: 0, Dev: 0, Start: 30, End: 31, Region: 1, Bytes: 64})
+	r.Record(Span{Kind: NetSend, Name: "m->s", Node: 1, Peer: 0, Dev: -1, Start: 50, End: 53, Region: 1, Bytes: 64})
+	r.Edge(1, 2)
+	r.Edge(1, 3)
+	r.Edge(2, 4)
+	r.Edge(3, 4)
+	r.Edge(4, 5)
+	return r
+}
+
+func TestCriticalPathHandComputed(t *testing.T) {
+	rep := critFixture().CriticalPath(3)
+	if rep.Tasks != 5 || rep.Edges != 5 {
+		t.Fatalf("tasks/edges = %d/%d, want 5/5", rep.Tasks, rep.Edges)
+	}
+	if rep.Makespan != 70 {
+		t.Fatalf("makespan = %v, want 70", rep.Makespan)
+	}
+	wantChain := []int64{1, 2, 4, 5}
+	if len(rep.Chain) != len(wantChain) {
+		t.Fatalf("chain length = %d (%+v), want %d", len(rep.Chain), rep.Chain, len(wantChain))
+	}
+	for i, id := range wantChain {
+		if rep.Chain[i].Task != id {
+			t.Fatalf("chain[%d] = task %d, want %d (chain %+v)", i, rep.Chain[i].Task, id, rep.Chain)
+		}
+	}
+	if rep.Compute != 63 {
+		t.Fatalf("compute = %v, want 63", rep.Compute)
+	}
+	if rep.Transfer != 4 {
+		t.Fatalf("transfer = %v, want 4", rep.Transfer)
+	}
+	if rep.Idle != 3 {
+		t.Fatalf("idle = %v, want 3", rep.Idle)
+	}
+	if got := sim.Duration(rep.Makespan) - rep.Compute - rep.Transfer - rep.Idle; got != 0 {
+		t.Fatalf("compute+transfer+idle does not cover the makespan (off by %v)", got)
+	}
+	// Step-level waits.
+	if s := rep.Chain[2]; s.WaitTransfer != 1 || s.WaitIdle != 1 {
+		t.Fatalf("step 4 waits = %v/%v, want 1/1", s.WaitTransfer, s.WaitIdle)
+	}
+	if s := rep.Chain[3]; s.WaitTransfer != 3 || s.WaitIdle != 2 {
+		t.Fatalf("step 5 waits = %v/%v, want 3/2", s.WaitTransfer, s.WaitIdle)
+	}
+	// Slack: task 3 has 12ns of slack, everything else none.
+	if len(rep.TopSlack) != 3 {
+		t.Fatalf("topSlack length = %d, want 3", len(rep.TopSlack))
+	}
+	if rep.TopSlack[0].Task != 3 || rep.TopSlack[0].Slack != 12 {
+		t.Fatalf("topSlack[0] = %+v, want task 3 slack 12", rep.TopSlack[0])
+	}
+	if rep.TopSlack[1].Slack != 0 {
+		t.Fatalf("topSlack[1] = %+v, want zero slack", rep.TopSlack[1])
+	}
+}
+
+func TestCriticalPathReexecutedTask(t *testing.T) {
+	// The same task id recorded twice (fault re-execution): the later span
+	// must win.
+	r := New()
+	a := r.Begin(TaskRun, "first", 1, -1, 0)
+	a.EndTask(10, 1)
+	b := r.Begin(TaskRun, "rerun", 0, -1, 20)
+	b.EndTask(40, 1)
+	rep := r.CriticalPath(1)
+	if rep.Tasks != 1 || rep.Makespan != 40 {
+		t.Fatalf("tasks/makespan = %d/%v, want 1/40", rep.Tasks, rep.Makespan)
+	}
+	if rep.Chain[0].Name != "rerun" {
+		t.Fatalf("chain picked %q, want the re-run", rep.Chain[0].Name)
+	}
+}
+
+func TestCriticalPathEmptyAndNil(t *testing.T) {
+	var r *Recorder
+	if rep := r.CriticalPath(5); rep.Tasks != 0 || len(rep.Chain) != 0 {
+		t.Fatalf("nil recorder report = %+v", rep)
+	}
+	var buf bytes.Buffer
+	if err := New().CriticalPath(5).WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no tagged task spans") {
+		t.Fatalf("empty report text = %q", buf.String())
+	}
+}
+
+func TestCriticalPathReportText(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := critFixture().CriticalPath(3).WriteText(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := critFixture().CriticalPath(3).WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("report text differs between identical replays")
+	}
+	for _, want := range []string{"makespan", "chain of 4 tasks", "slack"} {
+		if !strings.Contains(a.String(), want) {
+			t.Fatalf("report text missing %q:\n%s", want, a.String())
+		}
+	}
+}

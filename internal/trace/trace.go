@@ -86,15 +86,30 @@ type Span struct {
 	Start sim.Time
 	End   sim.Time
 	Bytes uint64
+	// Task is the task id a TaskRun span executed (0 = untagged).
+	Task int64
+	// Region is the data-region address a transfer span moved (0 = untagged).
+	Region uint64
+	// Peer is the destination node of a NetSend span; meaningful only for
+	// that kind (the producer records the span on its own Node row).
+	Peer int
 }
 
 // Dur returns the span length.
 func (s Span) Dur() sim.Time { return s.End - s.Start }
 
+// DepEdge is one dependency arc (pred must finish before succ runs)
+// mirrored from the runtime's dependency graph into the trace, so
+// post-mortem analyses can walk the realized DAG.
+type DepEdge struct {
+	Pred, Succ int64
+}
+
 // Recorder accumulates spans. A nil *Recorder is valid and records
 // nothing, so instrumentation sites need no guards.
 type Recorder struct {
 	spans []Span
+	edges []DepEdge
 }
 
 // New returns an empty recorder.
@@ -150,6 +165,56 @@ func (o Open) EndNonEmpty(end sim.Time) {
 		return
 	}
 	o.End(end)
+}
+
+// EndTask closes the span at end, tagging it with the id of the task it
+// executed so the critical-path analyzer can join spans to dep edges.
+func (o Open) EndTask(end sim.Time, task int64) {
+	o.span.End = end
+	o.span.Task = task
+	o.r.Record(o.span)
+}
+
+// EndRegion closes the span at end, attaching the region address and
+// byte count it moved so transfers can be chained to the tasks that
+// produced and consume the region.
+func (o Open) EndRegion(end sim.Time, region uint64, bytes uint64) {
+	o.span.End = end
+	o.span.Region = region
+	o.span.Bytes = bytes
+	o.r.Record(o.span)
+}
+
+// Edge records one dependency arc pred -> succ. No-op on a nil
+// recorder. The runtime mirrors depgraph arcs here when tracing.
+func (r *Recorder) Edge(pred, succ int64) {
+	if r == nil {
+		return
+	}
+	r.edges = append(r.edges, DepEdge{Pred: pred, Succ: succ})
+}
+
+// Edges returns the recorded dependency arcs sorted by (pred, succ),
+// deduplicated.
+func (r *Recorder) Edges() []DepEdge {
+	if r == nil {
+		return nil
+	}
+	out := make([]DepEdge, len(r.edges))
+	copy(out, r.edges)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pred != out[j].Pred {
+			return out[i].Pred < out[j].Pred
+		}
+		return out[i].Succ < out[j].Succ
+	})
+	dedup := out[:0]
+	for i, e := range out {
+		if i == 0 || e != out[i-1] {
+			dedup = append(dedup, e)
+		}
+	}
+	return dedup
 }
 
 // Spans returns all spans sorted by start time (stable on ties).

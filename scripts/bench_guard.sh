@@ -1,0 +1,78 @@
+#!/bin/sh
+# bench_guard.sh — fail the build when the harness regresses.
+#
+# Reruns `ompss-bench -experiment all -quick` serially and compares its
+# wall-clock to the serial_ms recorded in BENCH_harness.json. A run slower
+# OR faster than the ±TOL% band fails: slower means a perf regression,
+# dramatically faster usually means an experiment silently stopped doing
+# its work. Also re-measures the armed zero-fault overhead against the
+# recorded budget.
+#
+# Wall-clock is inherently noisy, so this is a wide net for catastrophic
+# regressions, not a microbenchmark; CI runs it as a separate non-required
+# job. Tune with BENCH_GUARD_TOL_PCT (default 25).
+#
+# Strictly POSIX sh; timing comes from ompss-bench's own -walltime flag.
+#
+# Usage: sh scripts/bench_guard.sh
+set -e
+
+cd "$(dirname "$0")/.."
+BASE=BENCH_harness.json
+if [ ! -f "$BASE" ]; then
+    echo "bench-guard: no $BASE baseline; run 'make baseline' first" >&2
+    exit 1
+fi
+
+TOL_PCT=${BENCH_GUARD_TOL_PCT:-25}
+BIN=$(mktemp /tmp/ompss-bench.XXXXXX)
+WT=$(mktemp /tmp/ompss-walltime.XXXXXX)
+trap 'rm -f "$BIN" "$WT"' EXIT
+
+go build -o "$BIN" ./cmd/ompss-bench
+
+# json_num FIELD FILE: extract a (possibly negative/fractional) number.
+json_num() {
+    sed -n "s/.*\"$1\": *\\(-\\{0,1\\}[0-9][0-9.]*\\).*/\\1/p" "$2"
+}
+
+BASE_MS=$(json_num serial_ms "$BASE")
+BUDGET_PCT=$(json_num armed_overhead_budget_pct "$BASE")
+if [ -z "$BASE_MS" ] || [ "$BASE_MS" -le 0 ]; then
+    echo "bench-guard: $BASE has no usable serial_ms" >&2
+    exit 1
+fi
+
+"$BIN" -experiment all -quick -parallel 1 -walltime "$WT" >/dev/null
+NOW_MS=$(json_num ms "$WT")
+
+DELTA_PCT=$(awk -v now="$NOW_MS" -v base="$BASE_MS" \
+    'BEGIN { printf "%.1f", (now - base) / base * 100 }')
+echo "bench-guard: serial $NOW_MS ms vs baseline $BASE_MS ms (${DELTA_PCT}%, tolerance +/-${TOL_PCT}%)"
+
+STATUS=0
+if awk -v d="$DELTA_PCT" -v tol="$TOL_PCT" \
+    'BEGIN { exit (d <= tol && d >= -tol) ? 0 : 1 }'; then
+    :
+else
+    echo "bench-guard: FAIL: wall-clock outside the +/-${TOL_PCT}% band" >&2
+    STATUS=1
+fi
+
+RES_OUT=$("$BIN" -experiment resilience -quick)
+ARMED_PCT=$(echo "$RES_OUT" | awk '/armed zero-fault overhead/ {print $(NF-1)}')
+if [ -z "$ARMED_PCT" ]; then
+    echo "bench-guard: FAIL: resilience run reported no armed overhead row" >&2
+    STATUS=1
+else
+    echo "bench-guard: armed zero-fault overhead ${ARMED_PCT}% (budget ${BUDGET_PCT}%)"
+    if awk -v o="$ARMED_PCT" -v b="$BUDGET_PCT" 'BEGIN { exit (o <= b) ? 0 : 1 }'; then
+        :
+    else
+        echo "bench-guard: FAIL: armed overhead ${ARMED_PCT}% exceeds budget ${BUDGET_PCT}%" >&2
+        STATUS=1
+    fi
+fi
+
+[ "$STATUS" -eq 0 ] && echo "bench-guard: OK"
+exit $STATUS

@@ -5,35 +5,39 @@
 # once with the parallel harness, and writes the numbers to BENCH_harness.json
 # at the repo root so every PR leaves a perf trajectory behind it.
 #
+# Strictly POSIX sh: timing comes from ompss-bench's own -walltime flag
+# (no `date +%s%3N`), and core counting uses getconf (no `nproc`).
+#
 # Usage: sh scripts/perf_baseline.sh
 set -e
 
 cd "$(dirname "$0")/.."
 BIN=$(mktemp /tmp/ompss-bench.XXXXXX)
-trap 'rm -f "$BIN"' EXIT
+WT=$(mktemp /tmp/ompss-walltime.XXXXXX)
+trap 'rm -f "$BIN" "$WT"' EXIT
 
 go build -o "$BIN" ./cmd/ompss-bench
 
-ms_now() { date +%s%3N; }
-
-run_timed() {
-    start=$(ms_now)
-    "$BIN" -experiment all -quick -parallel "$1" >/dev/null
-    end=$(ms_now)
-    echo $((end - start))
+# json_int FIELD FILE: extract an integer field from one-line JSON.
+json_int() {
+    sed -n "s/.*\"$1\":\\(-\\{0,1\\}[0-9][0-9]*\\).*/\\1/p" "$2"
 }
 
-CORES=$(nproc 2>/dev/null || echo 1)
-SERIAL_MS=$(run_timed 1)
-PARALLEL_MS=$(run_timed 0) # 0 = GOMAXPROCS workers
+CORES=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+
+"$BIN" -experiment all -quick -parallel 1 -walltime "$WT" >/dev/null
+SERIAL_MS=$(json_int ms "$WT")
+
+"$BIN" -experiment all -quick -parallel 0 -walltime "$WT" >/dev/null
+PARALLEL_MS=$(json_int ms "$WT")
+PARALLEL_WORKERS=$(json_int workers "$WT")
 
 # Zero-fault resilience run: the fault subsystem armed but injecting nothing.
 # The "armed zero-fault overhead" row tracks the retry machinery's cost over
 # a clean run; the budget is <2% so reliability never taxes the fault-free
 # paper experiments (fig9 et al.).
-RES_START=$(ms_now)
-RES_OUT=$("$BIN" -experiment resilience -quick)
-RES_MS=$(($(ms_now) - RES_START))
+RES_OUT=$("$BIN" -experiment resilience -quick -walltime "$WT")
+RES_MS=$(json_int ms "$WT")
 ARMED_OVERHEAD_PCT=$(echo "$RES_OUT" | awk '/armed zero-fault overhead/ {print $(NF-1)}')
 [ -n "$ARMED_OVERHEAD_PCT" ] || ARMED_OVERHEAD_PCT=-1
 
@@ -45,11 +49,11 @@ cat > BENCH_harness.json <<EOF
   "command": "ompss-bench -experiment all -quick",
   "serial_ms": $SERIAL_MS,
   "parallel_ms": $PARALLEL_MS,
-  "parallel_workers": $CORES,
+  "parallel_workers": $PARALLEL_WORKERS,
   "resilience_quick_ms": $RES_MS,
   "armed_zero_fault_overhead_pct": $ARMED_OVERHEAD_PCT,
   "armed_overhead_budget_pct": 2.0
 }
 EOF
 
-echo "serial ${SERIAL_MS}ms, parallel(${CORES} workers) ${PARALLEL_MS}ms, resilience ${RES_MS}ms (armed overhead ${ARMED_OVERHEAD_PCT}%) -> BENCH_harness.json"
+echo "serial ${SERIAL_MS}ms, parallel(${PARALLEL_WORKERS} workers) ${PARALLEL_MS}ms, resilience ${RES_MS}ms (armed overhead ${ARMED_OVERHEAD_PCT}%) -> BENCH_harness.json"
