@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet fmt build test lint race bench baseline resilience cover bench-guard
+.PHONY: check vet fmt build test lint race bench baseline resilience cover bench-guard stencil
 
 ## check: gofmt + go vet + build + ompss-lint + full test suite (the tier-1 gate)
 check: fmt vet build lint test
@@ -47,6 +47,11 @@ baseline:
 ## regression vs BENCH_harness.json (non-required CI job; wide tolerance)
 bench-guard:
 	sh scripts/bench_guard.sh
+
+## stencil: run the heat example (overlapping halo regions) on a simulated
+## 2-node GPU cluster and verify the checksum against the serial version
+stencil:
+	$(GO) run ./examples/heat -nodes 2 -verify
 
 ## cover: full test suite with a coverage profile and per-function summary
 cover:

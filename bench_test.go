@@ -52,3 +52,4 @@ func BenchmarkFig11(b *testing.B)  { runExperiment(b, "fig11") }
 func BenchmarkFig12(b *testing.B)  { runExperiment(b, "fig12") }
 func BenchmarkFig13(b *testing.B)  { runExperiment(b, "fig13") }
 func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1") }
+func BenchmarkHeat(b *testing.B)   { runExperiment(b, "heat") }

@@ -108,6 +108,7 @@ var scopedPkgs = []string{
 	"internal/sched",
 	"internal/core",
 	"internal/coherence",
+	"internal/depgraph",
 	"internal/gasnet",
 	"internal/netsim",
 	"internal/gpusim",

@@ -1,0 +1,56 @@
+package apps
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/bsc-repro/ompss"
+)
+
+// The stencil's halo reads partially overlap the neighbouring blocks, so
+// a correct checksum here exercises the fragment-based dependence and
+// coherence tracking across every machine shape.
+func TestHeatOmpSsMatchesSerial(t *testing.T) {
+	p := HeatParams{N: 4096, BSize: 512, Steps: 5}
+	want := fmt.Sprintf("sum=%.6f", HeatSerialSum(p))
+	for _, tc := range []struct {
+		nodes, gpus int
+	}{{1, 1}, {1, 2}, {2, 1}, {2, 2}, {4, 1}} {
+		cfg := ompss.Config{
+			Cluster:          smallCluster(tc.nodes, tc.gpus),
+			Validate:         true,
+			SlaveToSlave:     true,
+			NonBlockingCache: true,
+			Steal:            true,
+		}
+		res, err := HeatOmpSs(cfg, p)
+		if err != nil {
+			t.Fatalf("%dx%d: %v", tc.nodes, tc.gpus, err)
+		}
+		if res.Check != want {
+			t.Fatalf("%dx%d check = %s, want %s", tc.nodes, tc.gpus, res.Check, want)
+		}
+		if res.Metric <= 0 {
+			t.Fatalf("%dx%d metric = %v", tc.nodes, tc.gpus, res.Metric)
+		}
+	}
+}
+
+func TestHeatOmpSsMatchesSerialAcrossCachePolicies(t *testing.T) {
+	p := HeatParams{N: 2048, BSize: 256, Steps: 4}
+	want := fmt.Sprintf("sum=%.6f", HeatSerialSum(p))
+	for _, policy := range []ompss.CachePolicy{ompss.NoCache, ompss.WriteThrough, ompss.WriteBack} {
+		cfg := ompss.Config{
+			Cluster:     smallCluster(1, 2),
+			Validate:    true,
+			CachePolicy: policy,
+		}
+		res, err := HeatOmpSs(cfg, p)
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if res.Check != want {
+			t.Fatalf("%s check = %s, want %s", policy, res.Check, want)
+		}
+	}
+}

@@ -83,6 +83,7 @@ func All() []Experiment {
 		{"table1", "Useful lines of code: Serial vs CUDA vs MPI+CUDA vs OmpSs", Table1},
 		{"ablations", "Runtime-mechanism ablations on Matmul (beyond the paper's grid)", Ablations},
 		{"resilience", "Fault injection on cluster Matmul/STREAM: correctness and cost under drops, stalls, crashes", Resilience},
+		{"heat", "Jacobi heat stencil, GPU cluster: overlapping halo regions, checksum-validated", Heat},
 	}
 }
 

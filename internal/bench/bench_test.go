@@ -218,7 +218,7 @@ func TestTable1Shapes(t *testing.T) {
 
 func TestAllAndNames(t *testing.T) {
 	names := Names()
-	if len(names) != 12 || names[0] != "fig5" || names[9] != "table1" || names[11] != "resilience" {
+	if len(names) != 13 || names[0] != "fig5" || names[9] != "table1" || names[12] != "heat" {
 		t.Fatalf("names = %v", names)
 	}
 	if _, ok := ByName("nosuch"); ok {
@@ -275,5 +275,20 @@ func TestAblationShapes(t *testing.T) {
 	// A second communication thread must not hurt.
 	if v["8node commthreads=2"] < 0.9*v["8node commthreads=1"] {
 		t.Errorf("2 comm threads regressed: %v vs %v", v["8node commthreads=2"], v["8node commthreads=1"])
+	}
+}
+
+func TestHeatShapes(t *testing.T) {
+	v := rows(t, "heat")
+	// Correctness is asserted inside the experiment (every point checks the
+	// serial checksum); the shape here is scaling. Going from one node to
+	// two pays the halo exchange over the network, so the single-node point
+	// is not comparable; across the multi-node points the per-node work is
+	// fixed and aggregate cell updates must grow with node count.
+	expectOrder(t, v, "8node ompss", "4node ompss", "2node ompss")
+	for _, cfg := range []string{"1node ompss", "2node ompss", "4node ompss", "8node ompss"} {
+		if v[cfg] <= 0 {
+			t.Errorf("%s = %v, want > 0", cfg, v[cfg])
+		}
 	}
 }

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/bsc-repro/ompss/internal/apps"
+)
+
+// heatParams returns the stencil sizes: one million cells per node, eight
+// diffusion steps.
+func heatParams(o Options, nodes int) apps.HeatParams {
+	if o.Quick {
+		return apps.HeatParams{N: nodes * (64 << 10), BSize: 8 << 10, Steps: 4}
+	}
+	return apps.HeatParams{N: nodes * (1 << 20), BSize: 128 << 10, Steps: 8}
+}
+
+// Heat runs the Jacobi stencil on the GPU cluster. The halo reads
+// partially overlap the neighbouring blocks, so the experiment exercises
+// the fragmented-region paths — overlap dependences, fragment assembly,
+// partial invalidation — end to end (the paper's own grid has no
+// partially-overlapping workload). Every point carries real data and is
+// checked against the serial reference checksum.
+func Heat(o Options) ([]Row, error) {
+	var pts []point
+	for _, nodes := range nodeCounts {
+		p := heatParams(o, nodes)
+		cfg := clusterConfig(nodes)
+		cfg.SlaveToSlave = true
+		cfg.Validate = true
+		pts = append(pts, point{
+			config: fmt.Sprintf("%dnode ompss", nodes),
+			run: func() (float64, string, error) {
+				res, err := apps.HeatOmpSs(cfg, p)
+				if err != nil {
+					return 0, "", err
+				}
+				want := fmt.Sprintf("sum=%.6f", apps.HeatSerialSum(p))
+				if res.Check != want {
+					return 0, "", fmt.Errorf("heat checksum %s, want %s", res.Check, want)
+				}
+				return res.Metric, res.MetricName, nil
+			},
+		})
+	}
+	return runGrid("heat", o, pts)
+}

@@ -5,6 +5,14 @@
 // write-through and write-back — with LRU replacement and pinning of
 // regions in use by running tasks.
 //
+// The directory versions *fragments*: a sorted, disjoint interval map that
+// splits whenever a region boundary lands inside an existing entry. A
+// consumer's region may therefore be assembled from several holder
+// fragments, and invalidation happens by overlap. Programs whose regions
+// exactly coincide or are disjoint never split a fragment, so they take
+// the same single-fragment paths (and produce the same holder orders and
+// version numbers) as the paper's exact-match model.
+//
 // Both structures are pure, deterministic bookkeeping: deciding *what* to
 // move. The runtime layers (internal/core) execute the movements on the
 // simulated interconnects and invoke these methods as transfers complete.
@@ -15,6 +23,7 @@ package coherence
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"github.com/bsc-repro/ompss/internal/detmap"
@@ -32,6 +41,15 @@ func locLess(a, b memspace.Location) bool {
 	return a.Dev < b.Dev
 }
 
+// regionLess orders regions by address, then size — the deterministic
+// visit order for Region-keyed maps.
+func regionLess(a, b memspace.Region) bool {
+	if a.Addr != b.Addr {
+		return a.Addr < b.Addr
+	}
+	return a.Size < b.Size
+}
+
 // Policy is a cache write policy.
 type Policy string
 
@@ -46,11 +64,12 @@ const (
 	WriteBack Policy = "wb"
 )
 
-// Directory tracks, per region, the set of locations holding the current
-// version. A region with no entry is "homeless" — its first producer or
+// Directory tracks, per fragment, the set of locations holding the current
+// version. Bytes with no fragment are "homeless" — their first producer or
 // initializer establishes residence.
 type Directory struct {
-	entries map[uint64]*dirEntry
+	// entries is sorted by address and pairwise disjoint.
+	entries []*dirEntry
 
 	// home, when set, is the location whose holdership makes a region
 	// durable (the master host in the cluster runtime). While the home
@@ -66,93 +85,178 @@ type dirEntry struct {
 	version int
 	holders map[memspace.Location]bool
 	// producers is the chain of tasks that produced the versions since
-	// home last held this region, oldest first. Empty while home holds it.
+	// home last held this fragment, oldest first. Empty while home holds it.
 	producers []*task.Task
 }
 
 // NewDirectory returns an empty directory.
 func NewDirectory() *Directory {
-	return &Directory{entries: make(map[uint64]*dirEntry)}
+	return &Directory{}
 }
 
-func (d *Directory) entry(r memspace.Region) *dirEntry {
-	en, ok := d.entries[r.Addr]
-	if !ok {
-		en = &dirEntry{region: r, holders: make(map[memspace.Location]bool)}
-		d.entries[r.Addr] = en
-	} else if en.region != r {
-		panic(fmt.Sprintf("coherence: region mismatch %v vs %v", en.region, r))
+// searchEntry returns the index of the first fragment ending past addr.
+func (d *Directory) searchEntry(addr uint64) int {
+	return sort.Search(len(d.entries), func(i int) bool { return d.entries[i].region.End() > addr })
+}
+
+// overlappingEntries returns the fragments overlapping r, in address order.
+func (d *Directory) overlappingEntries(r memspace.Region) []*dirEntry {
+	var out []*dirEntry
+	for i := d.searchEntry(r.Addr); i < len(d.entries) && d.entries[i].region.Addr < r.End(); i++ {
+		out = append(out, d.entries[i])
 	}
-	return en
+	return out
+}
+
+// splitEntryAt splits the fragment strictly containing addr into two
+// fragments meeting at addr, cloning holders and producer chain and
+// keeping the version. No-op on a fragment boundary.
+func (d *Directory) splitEntryAt(addr uint64) {
+	i := d.searchEntry(addr)
+	if i >= len(d.entries) {
+		return
+	}
+	en := d.entries[i]
+	if en.region.Addr >= addr {
+		return
+	}
+	end := en.region.End()
+	holders := make(map[memspace.Location]bool, len(en.holders))
+	for _, l := range detmap.KeysFunc(en.holders, locLess) {
+		holders[l] = true
+	}
+	left := &dirEntry{
+		region:    memspace.Region{Addr: en.region.Addr, Size: addr - en.region.Addr},
+		version:   en.version,
+		holders:   holders,
+		producers: slices.Clone(en.producers),
+	}
+	en.region = memspace.Region{Addr: addr, Size: end - addr}
+	d.entries = slices.Insert(d.entries, i, left)
+}
+
+// cover returns the fragments exactly tiling r, in address order, creating
+// fresh empty fragments for uncovered gaps. An exact-match program gets a
+// single fragment equal to r.
+func (d *Directory) cover(r memspace.Region) []*dirEntry {
+	d.splitEntryAt(r.Addr)
+	d.splitEntryAt(r.End())
+	var out []*dirEntry
+	pos := r.Addr
+	i := d.searchEntry(r.Addr)
+	for pos < r.End() {
+		if i < len(d.entries) && d.entries[i].region.Addr == pos {
+			out = append(out, d.entries[i])
+			pos = d.entries[i].region.End()
+			i++
+			continue
+		}
+		gapEnd := r.End()
+		if i < len(d.entries) && d.entries[i].region.Addr < gapEnd {
+			gapEnd = d.entries[i].region.Addr
+		}
+		en := &dirEntry{
+			region:  memspace.Region{Addr: pos, Size: gapEnd - pos},
+			holders: make(map[memspace.Location]bool),
+		}
+		d.entries = slices.Insert(d.entries, i, en)
+		out = append(out, en)
+		pos = gapEnd
+		i++
+	}
+	return out
 }
 
 // TrackProducers declares home the durable location and starts logging,
-// per region, the producer tasks of versions the home does not hold. Used
+// per fragment, the producer tasks of versions the home does not hold. Used
 // by the fault-tolerant cluster runtime with home = the master host.
 func (d *Directory) TrackProducers(home memspace.Location) {
 	d.home = home
 	d.homeSet = true
 }
 
-// RecordProducer appends t to r's producer chain. No-op unless
-// TrackProducers was called. The caller invokes this when a version is
-// produced away from home; the chain resets whenever home regains a copy.
+// RecordProducer appends t to the producer chain of every fragment of r.
+// No-op unless TrackProducers was called. The caller invokes this when a
+// version is produced away from home; the chain resets whenever home
+// regains a copy.
 func (d *Directory) RecordProducer(r memspace.Region, t *task.Task) {
 	if !d.homeSet {
 		return
 	}
-	d.entry(r).producers = append(d.entry(r).producers, t)
+	for _, en := range d.cover(r) {
+		en.producers = append(en.producers, t)
+	}
 }
 
-// Producers returns a copy of r's producer chain, oldest first.
+// Producers returns the union of the producer chains of r's fragments,
+// deduplicated by task, preserving chain (oldest-first) order within each
+// fragment, fragments visited in address order.
 func (d *Directory) Producers(r memspace.Region) []*task.Task {
-	if en, ok := d.entries[r.Addr]; ok && len(en.producers) > 0 {
-		return append([]*task.Task(nil), en.producers...)
+	var out []*task.Task
+	seen := make(map[task.ID]bool)
+	for _, en := range d.overlappingEntries(r) {
+		for _, t := range en.producers {
+			if !seen[t.ID] {
+				seen[t.ID] = true
+				out = append(out, t)
+			}
+		}
 	}
-	return nil
+	return out
 }
 
 // Init declares that loc holds the initial version of r (e.g. the master
 // host after serial initialization).
 func (d *Directory) Init(r memspace.Region, loc memspace.Location) {
-	en := d.entry(r)
-	en.holders[loc] = true
-	if d.homeSet && loc == d.home {
-		en.producers = nil
+	for _, en := range d.cover(r) {
+		en.holders[loc] = true
+		if d.homeSet && loc == d.home {
+			en.producers = nil
+		}
 	}
 }
 
 // Produced registers a new version of r produced at loc: loc becomes the
-// sole holder and the version number advances.
+// sole holder of every fragment of r and their versions advance.
 func (d *Directory) Produced(r memspace.Region, loc memspace.Location) {
-	en := d.entry(r)
-	en.version++
-	clear(en.holders)
-	en.holders[loc] = true
-	if d.homeSet && loc == d.home {
-		en.producers = nil
+	for _, en := range d.cover(r) {
+		en.version++
+		clear(en.holders)
+		en.holders[loc] = true
+		if d.homeSet && loc == d.home {
+			en.producers = nil
+		}
 	}
 }
 
-// AddHolder records that loc received a copy of the current version.
+// AddHolder records that loc received a copy of the current version of r.
+// Only already-known fragments gain the holder; if no byte of r is known
+// the call is an internal invariant violation and panics.
 func (d *Directory) AddHolder(r memspace.Region, loc memspace.Location) {
-	en, ok := d.entries[r.Addr]
-	if !ok {
-		panic(fmt.Sprintf("coherence: AddHolder for unknown region %v", r))
+	d.splitEntryAt(r.Addr)
+	d.splitEntryAt(r.End())
+	known := false
+	for _, en := range d.overlappingEntries(r) {
+		if len(en.holders) == 0 {
+			continue
+		}
+		known = true
+		en.holders[loc] = true
+		if d.homeSet && loc == d.home {
+			en.producers = nil
+		}
 	}
-	en.holders[loc] = true
-	if d.homeSet && loc == d.home {
-		en.producers = nil
+	if !known {
+		panic(fmt.Sprintf("coherence: AddHolder for unknown region %v", r))
 	}
 }
 
 // PurgeNode removes every holder located on the given node and returns the
-// regions left with no holder at all — their current version died with the
-// node — ordered by address for deterministic recovery.
+// fragments left with no holder at all — their current version died with
+// the node — ordered by address for deterministic recovery.
 func (d *Directory) PurgeNode(node int) []memspace.Region {
 	var lost []memspace.Region
-	for _, addr := range detmap.Keys(d.entries) {
-		en := d.entries[addr]
+	for _, en := range d.entries {
 		changed := false
 		for _, l := range detmap.KeysFunc(en.holders, locLess) {
 			if l.Node == node {
@@ -168,67 +272,135 @@ func (d *Directory) PurgeNode(node int) []memspace.Region {
 }
 
 // Rehome rebases a lost region onto the stale copy the home still has: the
-// home becomes the sole holder (version unchanged) and the producer chain
-// resets, since re-running the old chain from this base rebuilds the lost
-// version and relogs it. Panics without TrackProducers.
+// home becomes the sole holder of every fragment (version unchanged) and
+// the producer chains reset, since re-running the old chain from this base
+// rebuilds the lost version and relogs it. Panics without TrackProducers.
 func (d *Directory) Rehome(r memspace.Region) {
 	if !d.homeSet {
 		panic("coherence: Rehome without TrackProducers")
 	}
-	en := d.entry(r)
-	clear(en.holders)
-	en.holders[d.home] = true
-	en.producers = nil
+	for _, en := range d.cover(r) {
+		clear(en.holders)
+		en.holders[d.home] = true
+		en.producers = nil
+	}
 }
 
-// DropHolder records that loc no longer holds r (eviction). Dropping the
-// last holder panics: the current version must live somewhere.
+// DropHolder records that loc no longer holds r (eviction). Fragments
+// where loc is not a holder are skipped; dropping the last holder of a
+// fragment panics: the current version must live somewhere.
 func (d *Directory) DropHolder(r memspace.Region, loc memspace.Location) {
-	en, ok := d.entries[r.Addr]
-	if !ok || !en.holders[loc] {
-		return
+	d.splitEntryAt(r.Addr)
+	d.splitEntryAt(r.End())
+	for _, en := range d.overlappingEntries(r) {
+		if !en.holders[loc] {
+			continue
+		}
+		if len(en.holders) == 1 {
+			panic(fmt.Sprintf("coherence: dropping last holder %v of %v", loc, en.region))
+		}
+		delete(en.holders, loc)
 	}
-	if len(en.holders) == 1 {
-		panic(fmt.Sprintf("coherence: dropping last holder %v of %v", loc, r))
-	}
-	delete(en.holders, loc)
 }
 
-// IsHolder reports whether loc holds the current version of r.
+// IsHolder reports whether loc holds the current version of every byte
+// of r.
 func (d *Directory) IsHolder(r memspace.Region, loc memspace.Location) bool {
-	en, ok := d.entries[r.Addr]
-	return ok && en.holders[loc]
-}
-
-// Known reports whether the directory has any residence information for r.
-func (d *Directory) Known(r memspace.Region) bool {
-	en, ok := d.entries[r.Addr]
-	return ok && len(en.holders) > 0
-}
-
-// Version returns the current version number of r (0 if never produced).
-func (d *Directory) Version(r memspace.Region) int {
-	if en, ok := d.entries[r.Addr]; ok {
-		return en.version
+	pos := r.Addr
+	for _, en := range d.overlappingEntries(r) {
+		if en.region.Addr > pos || !en.holders[loc] {
+			return false
+		}
+		pos = en.region.End()
 	}
-	return 0
+	return pos >= r.End()
 }
 
-// Holders returns the locations holding the current version of r, in a
-// deterministic order (node, then device).
+// Known reports whether the directory has residence information for any
+// byte of r.
+func (d *Directory) Known(r memspace.Region) bool {
+	for _, en := range d.overlappingEntries(r) {
+		if len(en.holders) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Missing returns the known subranges of r that loc does not hold, one per
+// underlying fragment, in address order. Unknown (homeless) bytes are not
+// reported — there is no version to fetch. An exact-match program gets
+// either nothing or r itself back. Read-only: no fragments split.
+func (d *Directory) Missing(r memspace.Region, loc memspace.Location) []memspace.Region {
+	var out []memspace.Region
+	for _, en := range d.overlappingEntries(r) {
+		if len(en.holders) == 0 || en.holders[loc] {
+			continue
+		}
+		out = append(out, en.region.Intersect(r))
+	}
+	return out
+}
+
+// Held returns the subranges of r that loc holds, one per underlying
+// fragment, in address order. Under exact-match regions this is [] or [r].
+// / Read-only: no fragments split.
+func (d *Directory) Held(r memspace.Region, loc memspace.Location) []memspace.Region {
+	var out []memspace.Region
+	for _, en := range d.overlappingEntries(r) {
+		if en.holders[loc] {
+			out = append(out, en.region.Intersect(r))
+		}
+	}
+	return out
+}
+
+// HeldBytes returns how many bytes of r loc currently holds. Used by
+// affinity scoring.
+func (d *Directory) HeldBytes(r memspace.Region, loc memspace.Location) uint64 {
+	var n uint64
+	for _, en := range d.overlappingEntries(r) {
+		if en.holders[loc] {
+			n += en.region.Intersect(r).Size
+		}
+	}
+	return n
+}
+
+// Version returns the highest current version number of r's fragments
+// (0 if never produced).
+func (d *Directory) Version(r memspace.Region) int {
+	v := 0
+	for _, en := range d.overlappingEntries(r) {
+		if en.version > v {
+			v = en.version
+		}
+	}
+	return v
+}
+
+// Holders returns the locations holding the current version of every byte
+// of r, in a deterministic order (node, then device). Queried per fragment
+// by the transfer planner, where it is exact.
 func (d *Directory) Holders(r memspace.Region) []memspace.Location {
-	en, ok := d.entries[r.Addr]
-	if !ok {
+	ens := d.overlappingEntries(r)
+	if len(ens) == 0 {
 		return nil
 	}
-	return detmap.KeysFunc(en.holders, locLess)
+	var out []memspace.Location
+	for _, l := range detmap.KeysFunc(ens[0].holders, locLess) {
+		if d.IsHolder(r, l) {
+			out = append(out, l)
+		}
+	}
+	return out
 }
 
-// Regions returns all regions the directory knows, ordered by address.
+// Regions returns all fragments the directory knows, ordered by address.
 func (d *Directory) Regions() []memspace.Region {
 	out := make([]memspace.Region, 0, len(d.entries))
-	for _, addr := range detmap.Keys(d.entries) {
-		out = append(out, d.entries[addr].region)
+	for _, en := range d.entries {
+		out = append(out, en.region)
 	}
 	return out
 }
@@ -241,13 +413,15 @@ type Line struct {
 	lru    int64
 }
 
-// Cache is the software cache of one device address space.
+// Cache is the software cache of one device address space. Lines are
+// keyed by their full region, so overlapping lines (e.g. halo regions) can
+// coexist; residence queries are exact-region.
 type Cache struct {
 	loc      memspace.Location
 	policy   Policy
 	capacity uint64
 	used     uint64
-	lines    map[uint64]*Line
+	lines    map[memspace.Region]*Line
 	clock    int64
 
 	// Stats
@@ -271,7 +445,7 @@ func (c *Cache) Instrument(ins Instruments) { c.ins = ins }
 
 // NewCache returns a cache for device loc with the given byte capacity.
 func NewCache(loc memspace.Location, policy Policy, capacity uint64) *Cache {
-	return &Cache{loc: loc, policy: policy, capacity: capacity, lines: make(map[uint64]*Line)}
+	return &Cache{loc: loc, policy: policy, capacity: capacity, lines: make(map[memspace.Region]*Line)}
 }
 
 // Location returns the device this cache fronts.
@@ -289,16 +463,14 @@ func (c *Cache) Capacity() uint64 { return c.capacity }
 // Len returns the number of resident lines.
 func (c *Cache) Len() int { return len(c.lines) }
 
-// Lookup returns the line for r if resident, bumping its LRU position.
+// Lookup returns the line for exactly region r if resident, bumping its
+// LRU position. A different-size line at the same address is a miss.
 func (c *Cache) Lookup(r memspace.Region) *Line {
-	l, ok := c.lines[r.Addr]
+	l, ok := c.lines[r]
 	if !ok {
 		c.Misses++
 		c.ins.Misses.Inc()
 		return nil
-	}
-	if l.Region != r {
-		panic(fmt.Sprintf("coherence: cache line mismatch %v vs %v", l.Region, r))
 	}
 	c.Hits++
 	c.ins.Hits.Inc()
@@ -307,10 +479,22 @@ func (c *Cache) Lookup(r memspace.Region) *Line {
 	return l
 }
 
-// Contains reports residence without touching LRU or stats.
+// Contains reports residence of exactly r without touching LRU or stats.
 func (c *Cache) Contains(r memspace.Region) bool {
-	_, ok := c.lines[r.Addr]
+	_, ok := c.lines[r]
 	return ok
+}
+
+// OverlappingLines returns the resident lines overlapping r, ordered by
+// region. Used for overlap invalidation sweeps.
+func (c *Cache) OverlappingLines(r memspace.Region) []*Line {
+	var out []*Line
+	for _, k := range detmap.KeysFunc(c.lines, regionLess) {
+		if k.Overlaps(r) {
+			out = append(out, c.lines[k])
+		}
+	}
+	return out
 }
 
 // MakeSpace returns the LRU lines that must be evicted so that size more
@@ -327,8 +511,8 @@ func (c *Cache) MakeSpace(size uint64) (victims []*Line, ok bool) {
 	}
 	// Collect unpinned lines oldest-first.
 	var cand []*Line
-	for _, addr := range detmap.Keys(c.lines) {
-		if l := c.lines[addr]; l.pins == 0 {
+	for _, k := range detmap.KeysFunc(c.lines, regionLess) {
+		if l := c.lines[k]; l.pins == 0 {
 			cand = append(cand, l)
 		}
 	}
@@ -351,7 +535,7 @@ func (c *Cache) MakeSpace(size uint64) (victims []*Line, ok bool) {
 // Insert adds r as a resident line. The caller must have made space;
 // Insert panics if capacity would be exceeded or the line exists.
 func (c *Cache) Insert(r memspace.Region, dirty bool) *Line {
-	if _, dup := c.lines[r.Addr]; dup {
+	if _, dup := c.lines[r]; dup {
 		panic(fmt.Sprintf("coherence: duplicate insert of %v at %v", r, c.loc))
 	}
 	if c.used+r.Size > c.capacity {
@@ -359,21 +543,21 @@ func (c *Cache) Insert(r memspace.Region, dirty bool) *Line {
 	}
 	c.clock++
 	l := &Line{Region: r, Dirty: dirty, lru: c.clock}
-	c.lines[r.Addr] = l
+	c.lines[r] = l
 	c.used += r.Size
 	return l
 }
 
 // Remove evicts r's line. Panics if pinned or absent.
 func (c *Cache) Remove(r memspace.Region) {
-	l, ok := c.lines[r.Addr]
+	l, ok := c.lines[r]
 	if !ok {
 		panic(fmt.Sprintf("coherence: remove of non-resident %v at %v", r, c.loc))
 	}
 	if l.pins > 0 {
 		panic(fmt.Sprintf("coherence: remove of pinned %v at %v", r, c.loc))
 	}
-	delete(c.lines, r.Addr)
+	delete(c.lines, r)
 	c.used -= r.Size
 	c.Evictions++
 	c.ins.Evictions.Inc()
@@ -381,7 +565,7 @@ func (c *Cache) Remove(r memspace.Region) {
 
 // Pin prevents eviction of r while a task uses it.
 func (c *Cache) Pin(r memspace.Region) {
-	l, ok := c.lines[r.Addr]
+	l, ok := c.lines[r]
 	if !ok {
 		panic(fmt.Sprintf("coherence: pin of non-resident %v at %v", r, c.loc))
 	}
@@ -390,7 +574,7 @@ func (c *Cache) Pin(r memspace.Region) {
 
 // Unpin releases one pin on r.
 func (c *Cache) Unpin(r memspace.Region) {
-	l, ok := c.lines[r.Addr]
+	l, ok := c.lines[r]
 	if !ok || l.pins == 0 {
 		panic(fmt.Sprintf("coherence: unpin of unpinned %v at %v", r, c.loc))
 	}
@@ -399,7 +583,7 @@ func (c *Cache) Unpin(r memspace.Region) {
 
 // MarkDirty flags r as modified on the device.
 func (c *Cache) MarkDirty(r memspace.Region) {
-	l, ok := c.lines[r.Addr]
+	l, ok := c.lines[r]
 	if !ok {
 		panic(fmt.Sprintf("coherence: MarkDirty of non-resident %v at %v", r, c.loc))
 	}
@@ -408,29 +592,29 @@ func (c *Cache) MarkDirty(r memspace.Region) {
 
 // Clean clears the dirty flag after a write-back.
 func (c *Cache) Clean(r memspace.Region) {
-	l, ok := c.lines[r.Addr]
+	l, ok := c.lines[r]
 	if !ok {
 		return
 	}
 	l.Dirty = false
 }
 
-// DirtyLines returns all dirty lines ordered by region address (for flush).
+// DirtyLines returns all dirty lines ordered by region (for flush).
 func (c *Cache) DirtyLines() []*Line {
 	var out []*Line
-	for _, addr := range detmap.Keys(c.lines) {
-		if l := c.lines[addr]; l.Dirty {
+	for _, k := range detmap.KeysFunc(c.lines, regionLess) {
+		if l := c.lines[k]; l.Dirty {
 			out = append(out, l)
 		}
 	}
 	return out
 }
 
-// Lines returns all resident lines ordered by region address.
+// Lines returns all resident lines ordered by region.
 func (c *Cache) Lines() []*Line {
 	out := make([]*Line, 0, len(c.lines))
-	for _, addr := range detmap.Keys(c.lines) {
-		out = append(out, c.lines[addr])
+	for _, k := range detmap.KeysFunc(c.lines, regionLess) {
+		out = append(out, c.lines[k])
 	}
 	return out
 }

@@ -80,15 +80,77 @@ func TestDirectoryAddHolderUnknownPanics(t *testing.T) {
 	d.AddHolder(reg(1, 1), host)
 }
 
-func TestDirectoryRegionMismatchPanics(t *testing.T) {
+func TestDirectoryFragmentGrowth(t *testing.T) {
+	// Overlapping regions used to panic ("region mismatch"); now the
+	// directory fragments. Init a 64-byte region, then a 128-byte region
+	// at the same address: both fragments end up held.
 	d := NewDirectory()
 	d.Init(reg(0x1000, 64), host)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	d.Init(reg(0x1000, 128), host) // same addr, different size: partial overlap
+	d.Init(reg(0x1000, 128), host)
+	if !d.IsHolder(reg(0x1000, 128), host) || !d.IsHolder(reg(0x1000, 64), host) {
+		t.Fatal("host must hold both the original and the grown region")
+	}
+	if !d.IsHolder(reg(0x1040, 64), host) {
+		t.Fatal("host must hold the extension fragment")
+	}
+}
+
+func TestDirectoryFragmentAssembly(t *testing.T) {
+	// Two adjacent producers on different devices; a consumer region
+	// straddling them is missing exactly the two halves it doesn't hold.
+	d := NewDirectory()
+	left, right := reg(0x1000, 64), reg(0x1040, 64)
+	d.Init(left, host)
+	d.Init(right, host)
+	d.Produced(left, gpu0)
+	d.Produced(right, gpu1)
+	mid := reg(0x1020, 64)
+	if d.IsHolder(mid, gpu0) || d.IsHolder(mid, gpu1) || d.IsHolder(mid, host) {
+		t.Fatal("nobody holds the straddling region in full")
+	}
+	if !d.Known(mid) {
+		t.Fatal("straddling region must be Known")
+	}
+	miss := d.Missing(mid, host)
+	if len(miss) != 2 || miss[0] != reg(0x1020, 32) || miss[1] != reg(0x1040, 32) {
+		t.Fatalf("Missing = %v", miss)
+	}
+	if hs := d.Holders(reg(0x1020, 32)); len(hs) != 1 || hs[0] != gpu0 {
+		t.Fatalf("holders of left half = %v", hs)
+	}
+	// After both fragments come home, nothing is missing and host holds all.
+	d.AddHolder(reg(0x1020, 32), host)
+	d.AddHolder(reg(0x1040, 32), host)
+	if got := d.Missing(mid, host); got != nil {
+		t.Fatalf("Missing after assembly = %v", got)
+	}
+	if !d.IsHolder(mid, host) {
+		t.Fatal("host must hold the assembled region")
+	}
+	if hb := d.HeldBytes(mid, gpu0); hb != 32 {
+		t.Fatalf("gpu0 HeldBytes = %d", hb)
+	}
+}
+
+func TestDirectoryProducedInvalidatesByOverlap(t *testing.T) {
+	d := NewDirectory()
+	whole := reg(0x2000, 128)
+	d.Init(whole, host)
+	// Producing a middle slice elsewhere leaves host holding the edges only.
+	mid := reg(0x2020, 64)
+	d.Produced(mid, gpu0)
+	if d.IsHolder(whole, host) {
+		t.Fatal("host must lose the overwritten middle")
+	}
+	if !d.IsHolder(reg(0x2000, 32), host) || !d.IsHolder(reg(0x2060, 32), host) {
+		t.Fatal("host must keep the untouched edges")
+	}
+	if !d.IsHolder(mid, gpu0) {
+		t.Fatal("producer must hold the middle")
+	}
+	if d.Version(mid) != 1 || d.Version(reg(0x2000, 32)) != 0 {
+		t.Fatalf("versions = %d / %d", d.Version(mid), d.Version(reg(0x2000, 32)))
+	}
 }
 
 func TestCacheHitMissLRU(t *testing.T) {

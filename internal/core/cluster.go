@@ -56,8 +56,8 @@ type clusterState struct {
 }
 
 type netKey struct {
-	addr uint64
-	node int
+	region memspace.Region
+	node   int
 }
 
 func (rt *Runtime) cluster() *clusterState {
@@ -257,12 +257,12 @@ func (rt *Runtime) clusterScore(t *task.Task) []uint64 {
 		if c.Access.Writes() {
 			w = 2
 		}
-		if m.dir.IsHolder(c.Region, memspace.Host(0)) {
-			scores[0] += w * c.Region.Size
+		if hb := m.dir.HeldBytes(c.Region, memspace.Host(0)); hb > 0 {
+			scores[0] += w * hb
 		} else {
 			for g := range m.devs {
-				if m.dir.IsHolder(c.Region, memspace.GPU(0, g)) {
-					scores[0] += w * c.Region.Size
+				if hb := m.dir.HeldBytes(c.Region, memspace.GPU(0, g)); hb > 0 {
+					scores[0] += w * hb
 					break
 				}
 			}
@@ -270,8 +270,8 @@ func (rt *Runtime) clusterScore(t *task.Task) []uint64 {
 		for k := 1; k < len(rt.nodes); k++ {
 			// Dead nodes score zero: PurgeNode removed their holdings, the
 			// check is belt-and-braces for the declaration window.
-			if m.dir.IsHolder(c.Region, memspace.Host(k)) && !rt.nodeIsDead(k) {
-				scores[k] += w * c.Region.Size
+			if !rt.nodeIsDead(k) {
+				scores[k] += w * m.dir.HeldBytes(c.Region, memspace.Host(k))
 			}
 		}
 	}
@@ -295,7 +295,7 @@ func (rt *Runtime) clusterCanRun(place int, t *task.Task) bool {
 		if len(ft.restoreEvents) > 0 {
 			if _, rec := ft.recoveryDone[t.ID]; !rec {
 				for _, c := range t.Copies() {
-					if _, busy := ft.restoreEvents[c.Region.Addr]; busy {
+					if ft.fenced(c.Region) {
 						return false
 					}
 				}
@@ -388,14 +388,18 @@ func (rt *Runtime) stageToNode(p *sim.Proc, r memspace.Region, k int) bool {
 func (rt *Runtime) stageToNodeOnce(p *sim.Proc, r memspace.Region, k int) (ok, settled bool) {
 	m := rt.master()
 	cl := rt.cluster()
-	key := netKey{addr: r.Addr, node: k}
+	key := netKey{region: r, node: k}
 	if ev, busy := cl.netInflight[key]; busy {
 		ev.Wait(p)
 		// Without fault tolerance the transfer we piggybacked on always
 		// succeeded; with it, it may have failed — re-evaluate.
 		return true, rt.ft == nil
 	}
-	if m.dir.IsHolder(r, memspace.Host(k)) || !m.dir.Known(r) {
+	// The consumer needs every known byte of r at node k. Missing returns
+	// the directory fragments not yet held there: one entry equal to r under
+	// exact-match regions, several when writers fragmented the range.
+	missing := m.dir.Missing(r, memspace.Host(k))
+	if len(missing) == 0 {
 		return true, true
 	}
 	if rt.nodeIsDead(k) {
@@ -408,7 +412,34 @@ func (rt *Runtime) stageToNodeOnce(p *sim.Proc, r memspace.Region, k int) (ok, s
 		ev.Trigger()
 	}()
 
-	holders := m.dir.Holders(r)
+	if len(missing) > 1 || missing[0] != r {
+		m.met.fragAssemblies.Inc()
+	}
+	for _, frag := range missing {
+		if fok, fsettled := rt.stageFragToNode(p, frag, k); !fok {
+			// settled=false: a source died mid-assembly — the outer loop
+			// re-evaluates what is still missing after any rebuild.
+			// settled=true: k itself never acknowledged; the caller declares
+			// it dead.
+			return false, fsettled
+		}
+	}
+	return true, true
+}
+
+// stageFragToNode ships one directory fragment to node k, choosing the
+// route the whole-region planner used before fragmentation: a slave holder
+// directly when SlaveToSlave is on, else via the master host. ok=false
+// with settled=false means a fault disturbed the transfer and the attempt
+// should be re-planned; with settled=true the destination is unreachable.
+func (rt *Runtime) stageFragToNode(p *sim.Proc, frag memspace.Region, k int) (ok, settled bool) {
+	m := rt.master()
+	cl := rt.cluster()
+	holders := m.dir.Holders(frag)
+	if len(holders) == 0 {
+		// The fragment's holders died after Missing was computed.
+		return false, false
+	}
 	src := holders[0]
 	if rt.cfg.SlaveToSlave {
 		// Prefer a slave source: direct slave-to-slave transfers keep the
@@ -431,15 +462,15 @@ func (rt *Runtime) stageToNodeOnce(p *sim.Proc, r memspace.Region, k int) (ok, s
 	if src.Node == 0 || (src.Node != k && rt.nodeIsDead(src.Node)) {
 		// From the master image (possibly via a D2H flush of a master GPU;
 		// fetchToHost re-routes internally if a remote holder dies).
-		m.fetchToHost(p, r)
-		return rt.sendMasterToNode(p, r, k), true
+		m.fetchToHost(p, frag)
+		return rt.sendMasterToNode(p, frag, k), true
 	}
 	// Current version lives on slave src.Node.
 	if rt.cfg.SlaveToSlave {
 		id := rt.newXfer(src.Node, k)
 		ack := cl.xferEvents[id]
 		start := p.Now()
-		if !m.ep.AMShort(p, src.Node, amPush, pushArgs{Region: r, Dest: k, XferID: id}) {
+		if !m.ep.AMShort(p, src.Node, amPush, pushArgs{Region: frag, Dest: k, XferID: id}) {
 			rt.ackXfer(id)
 			rt.xferFailedTake(id)
 			rt.nodeDead(src.Node, "push")
@@ -451,14 +482,14 @@ func (rt *Runtime) stageToNodeOnce(p *sim.Proc, r memspace.Region, k int) (ok, s
 		}
 		rt.cfg.Trace.Record(trace.Span{Kind: trace.NetSend, Name: "s->s",
 			Node: src.Node, Dev: -1, Start: start, End: p.Now(),
-			Bytes: r.Size, Region: r.Addr, Peer: k})
-		rt.met.bytesStoS.Add(int64(r.Size))
-		m.dir.AddHolder(r, memspace.Host(k))
+			Bytes: frag.Size, Region: frag.Addr, Peer: k})
+		rt.met.bytesStoS.Add(int64(frag.Size))
+		m.dir.AddHolder(frag, memspace.Host(k))
 		return true, true
 	}
 	// Master-routed: pull to the master host, then send on.
-	m.fetchToHost(p, r)
-	return rt.sendMasterToNode(p, r, k), true
+	m.fetchToHost(p, frag)
+	return rt.sendMasterToNode(p, frag, k), true
 }
 
 // sendMasterToNode ships r from the master host store to node k and waits

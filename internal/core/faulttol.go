@@ -57,9 +57,10 @@ type ftState struct {
 	recoveryDone map[task.ID]*sim.Event
 
 	// restoreEvents fences regions whose lost current version is being
-	// rebuilt, keyed by region address. Normal tasks touching a fenced
-	// region are held back by clusterCanRun until the rebuild completes.
-	restoreEvents map[uint64]*sim.Event
+	// rebuilt, keyed by directory fragment. Normal tasks touching any
+	// overlapping region are held back by clusterCanRun until the rebuild
+	// completes.
+	restoreEvents map[memspace.Region]*sim.Event
 
 	haveRecovered bool
 	recoverStart  sim.Time
@@ -91,7 +92,7 @@ func (rt *Runtime) armFaultTolerance() {
 		xferPeers:     make(map[int64][2]int),
 		xferFailed:    make(map[int64]bool),
 		recoveryDone:  make(map[task.ID]*sim.Event),
-		restoreEvents: make(map[uint64]*sim.Event),
+		restoreEvents: make(map[memspace.Region]*sim.Event),
 	}
 	rt.ft = ft
 	rt.fabric.SetHook(ft.inj)
@@ -264,7 +265,7 @@ func (rt *Runtime) recoverLost(k int) {
 		bytes    uint64
 	)
 	for _, r := range lost {
-		if _, busy := ft.restoreEvents[r.Addr]; busy {
+		if _, busy := ft.restoreEvents[r]; busy {
 			continue // an earlier recovery is already rebuilding it
 		}
 		prods := m.dir.Producers(r)
@@ -283,7 +284,7 @@ func (rt *Runtime) recoverLost(k int) {
 			}
 		}
 		ev := sim.NewEvent(rt.e)
-		ft.restoreEvents[r.Addr] = ev
+		ft.restoreEvents[r] = ev
 		rebuilds = append(rebuilds, rebuild{r: r, lastID: last, ev: ev})
 		bytes += r.Size
 	}
@@ -308,7 +309,7 @@ func (rt *Runtime) recoverLost(k int) {
 			for i := range rebuilds {
 				rb := &rebuilds[i]
 				if rb.ev != nil && rb.lastID <= t.ID {
-					delete(ft.restoreEvents, rb.r.Addr)
+					delete(ft.restoreEvents, rb.r)
 					rb.ev.Trigger()
 					rb.ev = nil
 				}
@@ -323,14 +324,34 @@ func (rt *Runtime) recoverLost(k int) {
 	})
 }
 
-// waitRestore blocks until no rebuild of r is pending. No-op without
-// fault tolerance or when r is not fenced.
+// fenced reports whether any fragment overlapping r has a rebuild in
+// progress, returning the first such fragment in address order so waiters
+// block deterministically.
+func (ft *ftState) fenced(r memspace.Region) bool {
+	_, busy := ft.fencedOn(r)
+	return busy
+}
+
+func (ft *ftState) fencedOn(r memspace.Region) (*sim.Event, bool) {
+	if len(ft.restoreEvents) == 0 {
+		return nil, false
+	}
+	for _, fr := range detmap.KeysFunc(ft.restoreEvents, regionLess) {
+		if fr.Overlaps(r) {
+			return ft.restoreEvents[fr], true
+		}
+	}
+	return nil, false
+}
+
+// waitRestore blocks until no rebuild overlapping r is pending. No-op
+// without fault tolerance or when r is not fenced.
 func (rt *Runtime) waitRestore(p *sim.Proc, r memspace.Region) {
 	if rt.ft == nil {
 		return
 	}
 	for {
-		ev, busy := rt.ft.restoreEvents[r.Addr]
+		ev, busy := rt.ft.fencedOn(r)
 		if !busy {
 			return
 		}
@@ -338,13 +359,9 @@ func (rt *Runtime) waitRestore(p *sim.Proc, r memspace.Region) {
 	}
 }
 
-// restorePending reports whether a rebuild of r is in progress.
+// restorePending reports whether a rebuild overlapping r is in progress.
 func (rt *Runtime) restorePending(r memspace.Region) bool {
-	if rt.ft == nil {
-		return false
-	}
-	_, busy := rt.ft.restoreEvents[r.Addr]
-	return busy
+	return rt.ft != nil && rt.ft.fenced(r)
 }
 
 // xferFailedTake consumes the failure mark of transfer id, reporting

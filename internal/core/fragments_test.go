@@ -1,0 +1,252 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/bsc-repro/ompss/internal/hw"
+	"github.com/bsc-repro/ompss/internal/memspace"
+	"github.com/bsc-repro/ompss/internal/metrics"
+	"github.com/bsc-repro/ompss/internal/task"
+	"github.com/bsc-repro/ompss/internal/trace"
+)
+
+// mixWork writes salt plus the (wrapped) sum of its read regions into w.
+// Inputs are snapshotted before writing because read and write regions may
+// alias arbitrary byte ranges of the same arena. With accum set the old
+// contents of w join the sum (an InOut body).
+type mixWork struct {
+	reads []memspace.Region
+	w     memspace.Region
+	salt  byte
+	accum bool
+	cost  time.Duration
+}
+
+func (w mixWork) Name() string                      { return "mix" }
+func (w mixWork) GPUCost(hw.GPUSpec) time.Duration  { return w.cost }
+func (w mixWork) CPUCost(hw.NodeSpec) time.Duration { return w.cost * 3 }
+func (w mixWork) Run(store *memspace.Store) {
+	if store == nil {
+		return
+	}
+	snaps := make([][]byte, len(w.reads))
+	for i, r := range w.reads {
+		snaps[i] = append([]byte(nil), store.Bytes(r)...)
+	}
+	var old []byte
+	if w.accum {
+		old = append([]byte(nil), store.Bytes(w.w)...)
+	}
+	out := store.Bytes(w.w)
+	for i := range out {
+		v := w.salt
+		for _, s := range snaps {
+			v += s[i%len(s)]
+		}
+		if w.accum {
+			v += old[i]
+		}
+		out[i] = v
+	}
+}
+
+// TestRandomOverlapGraphMatchesSerial is the fragment model's property
+// test: random task graphs whose dependence regions overlap at arbitrary
+// byte ranges must produce, through the full runtime (caches, directory,
+// cluster transfers), exactly the bytes the same tasks produce when run
+// serially in submit order. Seeded and deterministic.
+func TestRandomOverlapGraphMatchesSerial(t *testing.T) {
+	const (
+		arenaN = 4096
+		nTasks = 48
+	)
+	for _, tc := range []struct {
+		nodes, gpus int
+		seed        int64
+	}{{1, 2, 1}, {2, 1, 2}, {2, 2, 3}, {4, 1, 4}} {
+		tc := tc
+		t.Run(fmt.Sprintf("%dnode%dgpu_seed%d", tc.nodes, tc.gpus, tc.seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(tc.seed))
+			type spec struct {
+				readOffs  []int
+				readSizes []int
+				writeOff  int
+				writeSize int
+				salt      byte
+				accum     bool
+			}
+			randRange := func() (int, int) {
+				size := 16 + rng.Intn(241)
+				return rng.Intn(arenaN - size), size
+			}
+			specs := make([]spec, nTasks)
+			for i := range specs {
+				s := &specs[i]
+				for r := 0; r < 1+rng.Intn(2); r++ {
+					off, size := randRange()
+					s.readOffs = append(s.readOffs, off)
+					s.readSizes = append(s.readSizes, size)
+				}
+				s.writeOff, s.writeSize = randRange()
+				s.salt = byte(i*13 + 7)
+				s.accum = rng.Intn(2) == 0
+			}
+
+			build := func(arena memspace.Region, i int) mixWork {
+				s := specs[i]
+				w := mixWork{
+					w:     memspace.Region{Addr: arena.Addr + uint64(s.writeOff), Size: uint64(s.writeSize)},
+					salt:  s.salt,
+					accum: s.accum,
+					cost:  time.Duration(i%5+1) * 100 * time.Microsecond,
+				}
+				for r := range s.readOffs {
+					w.reads = append(w.reads,
+						memspace.Region{Addr: arena.Addr + uint64(s.readOffs[r]), Size: uint64(s.readSizes[r])})
+				}
+				return w
+			}
+
+			// Full runtime.
+			rt := New(baseCfg(tc.nodes, tc.gpus))
+			var arena memspace.Region
+			var got []byte
+			_, err := rt.Run(func(mc *MainCtx) {
+				arena = mc.Alloc(arenaN)
+				mc.InitSeq(arena, func(b []byte) {
+					for i := range b {
+						b[i] = byte(i * 7)
+					}
+				})
+				for i := 0; i < nTasks; i++ {
+					w := build(arena, i)
+					deps := make([]task.Dep, 0, len(w.reads)+1)
+					for _, r := range w.reads {
+						deps = append(deps, inDep(r))
+					}
+					if w.accum {
+						deps = append(deps, inoutDep(w.w))
+					} else {
+						deps = append(deps, outDep(w.w))
+					}
+					dev := task.CUDA
+					if i%7 == 0 {
+						dev = task.SMP
+					}
+					mc.Submit(TaskDef{Name: fmt.Sprintf("mix%d", i), Device: dev,
+						Deps: deps, Work: w})
+				}
+				mc.TaskWait()
+				got = append([]byte(nil), mc.HostBytes(arena)...)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Serial reference: same tasks, submit order, one host store.
+			serial := memspace.NewStore(memspace.Host(0))
+			b := serial.Bytes(arena)
+			for i := range b {
+				b[i] = byte(i * 7)
+			}
+			for i := 0; i < nTasks; i++ {
+				build(arena, i).Run(serial)
+			}
+			want := serial.Bytes(arena)
+			if !bytes.Equal(got, want) {
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("arena byte %d differs: runtime %d, serial %d", i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// fragmentFixtureRun executes a workload whose consumer region must be
+// assembled from two holder fragments: a GPU produces the left half of an
+// initialized region, then a host task reads the whole region. One node
+// keeps the assembly on the local D2H gather path, where the "assemble"
+// span is emitted (cluster assemblies surface as per-fragment net spans).
+func fragmentFixtureRun(t *testing.T) (*metrics.Registry, *trace.Recorder) {
+	t.Helper()
+	cfg := baseCfg(1, 2)
+	reg := metrics.New()
+	rec := trace.New()
+	cfg.Metrics = reg
+	cfg.Trace = rec
+	rt := New(cfg)
+	_, err := rt.Run(func(mc *MainCtx) {
+		r := mc.Alloc(1 << 16)
+		mc.InitSeq(r, nil)
+		left := memspace.Region{Addr: r.Addr, Size: r.Size / 2}
+		mc.Submit(TaskDef{Name: "left", Device: task.CUDA,
+			Deps: []task.Dep{inoutDep(left)},
+			Work: incWork{r: left, delta: 1, cost: time.Millisecond}})
+		mc.Submit(TaskDef{Name: "whole", Device: task.SMP,
+			Deps: []task.Dep{inDep(r)},
+			Work: incWork{r: r, delta: 0, cost: time.Millisecond}})
+		mc.TaskWait()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg, rec
+}
+
+// TestFragmentAssemblyCounterAndSpans checks the observability of the
+// fragment paths: assembling a consumer region from several holder
+// fragments increments coherence_fragment_assemblies and emits "assemble"
+// transfer spans, and the Perfetto export of such a run stays
+// bit-identical across identical runs.
+func TestFragmentAssemblyCounterAndSpans(t *testing.T) {
+	var perfettos []string
+	for i := 0; i < 2; i++ {
+		reg, rec := fragmentFixtureRun(t)
+		var assemblies int64
+		for _, s := range reg.Snapshot() {
+			if strings.HasPrefix(s.ID, "coherence_fragment_assemblies{") {
+				assemblies += s.Value
+			}
+		}
+		if assemblies == 0 {
+			t.Fatal("coherence_fragment_assemblies stayed zero on a fragmented workload")
+		}
+		var buf bytes.Buffer
+		if err := rec.WritePerfetto(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf.String(), "assemble") {
+			t.Fatal("no assemble spans in the Perfetto export")
+		}
+		perfettos = append(perfettos, buf.String())
+	}
+	if perfettos[0] != perfettos[1] {
+		t.Fatal("perfetto export diverged between identical fragmented runs")
+	}
+}
+
+// TestExactMatchRunsEmitNoFragmentActivity pins the degeneracy the
+// refactor promises: a workload whose regions only ever match exactly
+// takes the seed code paths — no assemblies counted, no assemble spans.
+func TestExactMatchRunsEmitNoFragmentActivity(t *testing.T) {
+	_, reg, rec := metricsFixtureRun(t)
+	for _, s := range reg.Snapshot() {
+		if strings.HasPrefix(s.ID, "coherence_fragment_assemblies{") && s.Value != 0 {
+			t.Fatalf("%s = %d on an exact-match workload", s.ID, s.Value)
+		}
+	}
+	var buf bytes.Buffer
+	if err := rec.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "assemble") {
+		t.Fatal("assemble spans emitted on an exact-match workload")
+	}
+}

@@ -50,6 +50,7 @@ type nodeMetrics struct {
 	tasksCUDA      *metrics.Counter
 	prefetchPops   *metrics.Counter // tasks popped early by a GPU manager
 	prefetchStaged *metrics.Counter // of those, staged successfully
+	fragAssemblies *metrics.Counter // consumer regions assembled from >1 holder fragment
 	taskRunNS      *metrics.Histogram
 	stageNS        *metrics.Histogram
 }
@@ -61,6 +62,7 @@ func newNodeMetrics(reg *metrics.Registry, id int) nodeMetrics {
 		tasksCUDA:      reg.Counter("tasks_total", metrics.L("kind", "cuda"), node),
 		prefetchPops:   reg.Counter("prefetch_pops_total", node),
 		prefetchStaged: reg.Counter("prefetch_staged_total", node),
+		fragAssemblies: reg.Counter("coherence_fragment_assemblies", node),
 		taskRunNS:      reg.Histogram("task_run_ns", node),
 		stageNS:        reg.Histogram("stage_ns", node),
 	}

@@ -45,11 +45,23 @@ func (lc *LocalCtx) Submit(def TaskDef) *task.Task {
 	if t.Device == task.CUDA && len(lc.n.devs) == 0 {
 		panic(fmt.Sprintf("core: nested CUDA task on GPU-less node %d", lc.n.id))
 	}
+	// Pre-validate so the extent bookkeeping only counts tasks that enter
+	// the graph; a malformed clause set is surfaced through ompss.Run.
+	if _, err := depgraph.Normalize(t.Deps); err != nil {
+		rt.fail(fmt.Errorf("%v: %w", t, err))
+		return t
+	}
 	if lc.pending == 0 {
 		lc.idle = sim.NewEvent(rt.e)
 	}
 	lc.pending++
-	lc.graph.Submit(t)
+	if err := lc.graph.Submit(t); err != nil {
+		rt.fail(err)
+		lc.pending--
+		if lc.pending == 0 {
+			lc.idle.Trigger()
+		}
+	}
 	return t
 }
 

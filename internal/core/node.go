@@ -7,6 +7,7 @@ import (
 
 	"github.com/bsc-repro/ompss/internal/coherence"
 	"github.com/bsc-repro/ompss/internal/cuda"
+	"github.com/bsc-repro/ompss/internal/detmap"
 	"github.com/bsc-repro/ompss/internal/gasnet"
 	"github.com/bsc-repro/ompss/internal/gpusim"
 	"github.com/bsc-repro/ompss/internal/hw"
@@ -58,15 +59,24 @@ type nodeRT struct {
 	// redPartials tracks, per reduction region, the GPUs holding partial
 	// accumulators; redCombiners the folding function. Partials are
 	// combined into the host copy before the next reader (fetchToHost).
-	redPartials  map[uint64][]int
-	redCombiners map[uint64]task.Combiner
+	redPartials  map[memspace.Region][]int
+	redCombiners map[memspace.Region]task.Combiner
 
 	met nodeMetrics
 }
 
 type inflightKey struct {
-	addr uint64
-	dev  int // destination device index; hostDevKey for the host
+	region memspace.Region
+	dev    int // destination device index; hostDevKey for the host
+}
+
+// regionLess orders regions by address, then size — the deterministic
+// visit order for Region-keyed maps in this package.
+func regionLess(a, b memspace.Region) bool {
+	if a.Addr != b.Addr {
+		return a.Addr < b.Addr
+	}
+	return a.Size < b.Size
 }
 
 const hostDevKey = -1
@@ -81,8 +91,8 @@ func newNodeRT(rt *Runtime, id int, spec hw.NodeSpec) *nodeRT {
 		dir:          coherence.NewDirectory(),
 		onDone:       make(map[task.ID]func(*sim.Proc, *task.Task, int)),
 		inflight:     make(map[inflightKey]*sim.Event),
-		redPartials:  make(map[uint64][]int),
-		redCombiners: make(map[uint64]task.Combiner),
+		redPartials:  make(map[memspace.Region][]int),
+		redCombiners: make(map[memspace.Region]task.Combiner),
 		prefetched:   make([]*task.Task, len(spec.GPUs)),
 		workSignal:   sim.NewEvent(rt.e),
 		met:          newNodeMetrics(rt.cfg.Metrics, id),
@@ -135,16 +145,18 @@ func (n *nodeRT) affinityScore(t *task.Task) []uint64 {
 		}
 		loc := n.placeLoc(place)
 		for _, c := range t.Copies() {
-			if n.dir.IsHolder(c.Region, loc) {
-				// Written data counts double: the output wants to stay
-				// where it lives (it is both read and re-produced), which
-				// also breaks read-vs-write ties deterministically.
-				w := uint64(1)
-				if c.Access.Writes() {
-					w = 2
-				}
-				scores[place] += w * c.Region.Size
+			held := n.dir.HeldBytes(c.Region, loc)
+			if held == 0 {
+				continue
 			}
+			// Written data counts double: the output wants to stay
+			// where it lives (it is both read and re-produced), which
+			// also breaks read-vs-write ties deterministically.
+			w := uint64(1)
+			if c.Access.Writes() {
+				w = 2
+			}
+			scores[place] += w * held
 		}
 	}
 	return scores
@@ -360,7 +372,7 @@ func (n *nodeRT) publishGPUTask(p *sim.Proc, g int, t *task.Task) {
 		// Emulate moving data in and out always: nothing stays resident —
 		// except reduction partials, which must survive until combined.
 		for _, c := range dedupRegions(copies) {
-			if _, reducing := n.redPartials[c.Addr]; reducing {
+			if _, reducing := n.redPartials[c]; reducing {
 				continue
 			}
 			if cache.Contains(c) {
@@ -375,11 +387,11 @@ func (n *nodeRT) publishGPUTask(p *sim.Proc, g int, t *task.Task) {
 
 // dedupRegions returns the distinct regions of a copy list.
 func dedupRegions(copies []task.Dep) []memspace.Region {
-	seen := make(map[uint64]bool, len(copies))
+	seen := make(map[memspace.Region]bool, len(copies))
 	var out []memspace.Region
 	for _, c := range copies {
-		if !seen[c.Region.Addr] {
-			seen[c.Region.Addr] = true
+		if !seen[c.Region] {
+			seen[c.Region] = true
 			out = append(out, c.Region)
 		}
 	}
@@ -397,18 +409,31 @@ func (n *nodeRT) jitter(id task.ID, d time.Duration) time.Duration {
 	return d + time.Duration(float64(d)*n.rt.cfg.KernelJitter*frac)
 }
 
+// overlappingRedRegions returns the pending reduction regions overlapping
+// r, in deterministic region order.
+func (n *nodeRT) overlappingRedRegions(r memspace.Region) []memspace.Region {
+	var out []memspace.Region
+	for _, k := range detmap.KeysFunc(n.redPartials, regionLess) {
+		if k.Overlaps(r) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
 // produced records a new version of r at loc and drops stale copies from
-// this image's caches. Uncombined reduction partials for r are obsolete
-// once a new version exists and are discarded.
+// this image's caches. Uncombined reduction partials overlapping r are
+// obsolete once a new version exists and are discarded.
 func (n *nodeRT) produced(r memspace.Region, loc memspace.Location) {
-	if gpus, reducing := n.redPartials[r.Addr]; reducing {
-		delete(n.redPartials, r.Addr)
-		delete(n.redCombiners, r.Addr)
+	for _, rr := range n.overlappingRedRegions(r) {
+		gpus := n.redPartials[rr]
+		delete(n.redPartials, rr)
+		delete(n.redCombiners, rr)
 		// Release the reduction-phase pins; the stale-copy sweep below
 		// removes the obsolete partial lines (except the producer's own,
 		// which the new version is being written into).
 		for _, g := range gpus {
-			n.caches[g].Unpin(r)
+			n.caches[g].Unpin(rr)
 		}
 	}
 	n.dir.Produced(r, loc)
@@ -416,10 +441,17 @@ func (n *nodeRT) produced(r memspace.Region, loc memspace.Location) {
 		if c.Location() == loc {
 			continue
 		}
-		if c.Contains(r) {
-			c.Remove(r)
+		for _, l := range c.OverlappingLines(r) {
+			// Only lines fully covered by r are swept: a partially
+			// overlapped line still holds the current bytes outside r
+			// (possibly the sole dirty copy); its staleness inside r is
+			// tracked by the directory and discovered at staging.
+			if !r.Contains(l.Region) {
+				continue
+			}
+			c.Remove(l.Region)
 			if s := n.devs[g].Store(); s != nil {
-				s.Drop(r)
+				s.Drop(l.Region)
 			}
 		}
 	}
@@ -489,8 +521,16 @@ func (n *nodeRT) tryStageInner(p *sim.Proc, t *task.Task, g int, soft bool) bool
 				cache.Pin(r)
 				continue
 			}
-			// Resident but stale (should have been invalidated): drop.
-			n.dropLine(g, r)
+			// Resident but stale on some fragment. A partially invalidated
+			// line can still carry the sole dirty copy of its surviving
+			// fragments — write those back before dropping (no-op for a
+			// clean line, the only shape under exact-match regions).
+			if line.Dirty {
+				n.writeBackLine(p, g, r)
+			}
+			if cache.Contains(r) {
+				n.dropLine(g, r)
+			}
 		}
 		victims, ok := cache.MakeSpace(r.Size)
 		if !ok {
@@ -548,18 +588,20 @@ func (n *nodeRT) tryStageInner(p *sim.Proc, t *task.Task, g int, soft bool) bool
 	return true
 }
 
-// mergeCopies combines duplicate copy clauses on one region.
+// mergeCopies combines duplicate copy clauses on one exact region.
+// Distinct overlapping regions stay separate entries: each gets its own
+// cache line and the stores alias their shared bytes.
 func mergeCopies(copies []task.Dep) []task.Dep {
-	byAddr := make(map[uint64]int, len(copies))
+	byRegion := make(map[memspace.Region]int, len(copies))
 	var out []task.Dep
 	for _, c := range copies {
-		if i, ok := byAddr[c.Region.Addr]; ok {
+		if i, ok := byRegion[c.Region]; ok {
 			if out[i].Access != c.Access {
 				out[i].Access = task.InOut
 			}
 			continue
 		}
-		byAddr[c.Region.Addr] = len(out)
+		byRegion[c.Region] = len(out)
 		out = append(out, c)
 	}
 	return out
@@ -584,25 +626,47 @@ func (n *nodeRT) evictLine(p *sim.Proc, g int, l *coherence.Line) {
 	n.dropLine(g, l.Region)
 }
 
-// dropLine removes r from GPU g's cache and directory holders.
+// dropLine removes r from GPU g's cache and directory holders. Holder
+// registration is per device, not per line: fragments of r still covered
+// by another resident line of the same GPU (overlapping lines share their
+// bytes) stay held and keep their backing store. Under exact-match
+// regions no lines overlap and this degenerates to dropping r whole.
 func (n *nodeRT) dropLine(g int, r memspace.Region) {
 	loc := memspace.GPU(n.id, g)
-	n.caches[g].Remove(r)
-	if s := n.devs[g].Store(); s != nil {
-		s.Drop(r)
+	cache := n.caches[g]
+	cache.Remove(r)
+	pieces := n.dir.Held(r, loc)
+	for _, l := range cache.OverlappingLines(r) {
+		var next []memspace.Region
+		for _, pc := range pieces {
+			next = append(next, pc.Subtract(l.Region)...)
+		}
+		pieces = next
 	}
-	n.dir.DropHolder(r, loc)
+	s := n.devs[g].Store()
+	for _, pc := range pieces {
+		if s != nil {
+			s.Drop(pc)
+		}
+		n.dir.DropHolder(pc, loc)
+	}
 }
 
 // writeBackLine copies GPU g's version of r to the host and marks the host
-// a holder.
+// a holder. Only the fragments the GPU actually holds are copied: a line
+// partially invalidated by an overlapping producer elsewhere must not
+// clobber the host with its stale part. Under exact-match regions the GPU
+// holds the whole line and this is a single whole-region copy.
 func (n *nodeRT) writeBackLine(p *sim.Proc, g int, r memspace.Region) {
-	wb := n.rt.cfg.Trace.Begin(trace.XferD2H, "writeback", n.id, g, p.Now())
-	n.devs[g].Copy(p, gpusim.D2H, r, n.hostStore, false)
-	wb.EndRegion(p.Now(), r.Addr, r.Size)
+	loc := memspace.GPU(n.id, g)
+	for _, frag := range n.dir.Held(r, loc) {
+		wb := n.rt.cfg.Trace.Begin(trace.XferD2H, "writeback", n.id, g, p.Now())
+		n.devs[g].Copy(p, gpusim.D2H, frag, n.hostStore, false)
+		wb.EndRegion(p.Now(), frag.Addr, frag.Size)
+		n.dir.AddHolder(frag, memspace.Host(n.id))
+		n.rt.met.writebacks.Inc()
+	}
 	n.caches[g].Clean(r)
-	n.dir.AddHolder(r, memspace.Host(n.id))
-	n.rt.met.writebacks.Inc()
 }
 
 // fetchToGPU brings the current version of r into GPU g, assuming the cache
@@ -610,7 +674,7 @@ func (n *nodeRT) writeBackLine(p *sim.Proc, g int, r memspace.Region) {
 // region to the same device coalesce.
 func (n *nodeRT) fetchToGPU(p *sim.Proc, g int, r memspace.Region) {
 	loc := memspace.GPU(n.id, g)
-	key := inflightKey{addr: r.Addr, dev: g}
+	key := inflightKey{region: r, dev: g}
 	if ev, busy := n.inflight[key]; busy {
 		ev.Wait(p)
 		return
@@ -653,17 +717,23 @@ func (n *nodeRT) fetchToHostInner(p *sim.Proc, r memspace.Region, combine bool) 
 
 func (n *nodeRT) fetchToHostOnce(p *sim.Proc, r memspace.Region, combine bool) bool {
 	host := memspace.Host(n.id)
-	key := inflightKey{addr: r.Addr, dev: hostDevKey}
+	key := inflightKey{region: r, dev: hostDevKey}
 	if ev, busy := n.inflight[key]; busy {
 		ev.Wait(p)
 		// Without fault tolerance the fetch we piggybacked on always
 		// succeeded; with it, it may have failed — re-evaluate.
 		return n.rt.ft == nil
 	}
-	if combine && len(n.redPartials[r.Addr]) > 0 {
-		n.combineReduction(p, r)
+	if combine {
+		for _, rr := range n.overlappingRedRegions(r) {
+			n.combineReduction(p, rr)
+		}
 	}
-	if n.dir.IsHolder(r, host) || !n.dir.Known(r) {
+	// The directory says which subranges of r the host is missing; each is
+	// pulled from its own holder. Under exact-match regions this is either
+	// nothing or r itself — the seed's single-transfer path.
+	missing := n.dir.Missing(r, host)
+	if len(missing) == 0 {
 		return true
 	}
 	ev := sim.NewEvent(n.rt.e)
@@ -672,22 +742,48 @@ func (n *nodeRT) fetchToHostOnce(p *sim.Proc, r memspace.Region, combine bool) b
 		delete(n.inflight, key)
 		ev.Trigger()
 	}()
-	holders := n.dir.Holders(r)
-	// Prefer a local GPU (cheap D2H) over a remote node.
-	for _, h := range holders {
-		if h.Node == n.id && !h.IsHost() {
-			n.devs[h.Dev].Copy(p, gpusim.D2H, r, n.hostStore, false)
-			n.caches[h.Dev].Clean(r)
-			n.dir.AddHolder(r, host)
-			n.rt.met.writebacks.Inc()
-			return true
+	fragmented := len(missing) > 1 || missing[0] != r
+	if fragmented {
+		n.met.fragAssemblies.Inc()
+	}
+	for _, frag := range missing {
+		holders := n.dir.Holders(frag)
+		if len(holders) == 0 {
+			// Lost between the Missing query and now (holder died); let the
+			// caller wait out the rebuild and retry.
+			return false
+		}
+		// Prefer a local GPU (cheap D2H) over a remote node.
+		fetched := false
+		for _, h := range holders {
+			if h.Node == n.id && !h.IsHost() {
+				var asm trace.Open
+				if fragmented {
+					asm = n.rt.cfg.Trace.Begin(trace.XferD2H, "assemble", n.id, h.Dev, p.Now())
+				}
+				n.devs[h.Dev].Copy(p, gpusim.D2H, frag, n.hostStore, false)
+				if fragmented {
+					asm.EndRegion(p.Now(), frag.Addr, frag.Size)
+				}
+				n.caches[h.Dev].Clean(frag)
+				n.dir.AddHolder(frag, host)
+				n.rt.met.writebacks.Inc()
+				fetched = true
+				break
+			}
+		}
+		if fetched {
+			continue
+		}
+		if !n.isMaster() {
+			panic(fmt.Sprintf("core: node %d asked to fetch %v it does not hold", n.id, frag))
+		}
+		// Remote holder: pull across the network (cluster layer).
+		if !n.rt.pullToMaster(p, frag, holders[0].Node) {
+			return false
 		}
 	}
-	if !n.isMaster() {
-		panic(fmt.Sprintf("core: node %d asked to fetch %v it does not hold", n.id, r))
-	}
-	// Remote holder: pull across the network (cluster layer).
-	return n.rt.pullToMaster(p, r, holders[0].Node)
+	return true
 }
 
 // DebugPlacement toggles placement tracing (development only).
@@ -721,7 +817,7 @@ func (n *nodeRT) stageReduction(g int, r memspace.Region) {
 	if s := n.devs[g].Store(); s != nil {
 		s.Drop(r) // fresh zeroed bytes: the reduction identity
 	}
-	n.redPartials[r.Addr] = append(n.redPartials[r.Addr], g)
+	n.redPartials[r] = append(n.redPartials[r], g)
 }
 
 // registerReduction records the combiner for each Red dependence of t.
@@ -734,7 +830,7 @@ func (n *nodeRT) registerReduction(t *task.Task) {
 		if !ok {
 			panic(fmt.Sprintf("core: %v has a reduction dependence on %v but no combiner", t, d.Region))
 		}
-		n.redCombiners[d.Region.Addr] = c
+		n.redCombiners[d.Region] = c
 	}
 }
 
@@ -742,19 +838,17 @@ func (n *nodeRT) registerReduction(t *task.Task) {
 // releases the accumulators. Runs before the first post-reduction reader;
 // the dependency graph guarantees all reduction tasks have finished.
 func (n *nodeRT) combineReduction(p *sim.Proc, r memspace.Region) {
-	gpus := n.redPartials[r.Addr]
-	delete(n.redPartials, r.Addr)
-	combiner := n.redCombiners[r.Addr]
-	delete(n.redCombiners, r.Addr)
-	var acc []byte
-	if n.hostStore != nil {
-		acc = n.hostStore.Bytes(r)
-	}
+	gpus := n.redPartials[r]
+	delete(n.redPartials, r)
+	combiner := n.redCombiners[r]
+	delete(n.redCombiners, r)
 	for _, g := range gpus {
 		partial := n.devs[g].ReadBack(p, r)
 		// Host-side fold cost.
 		p.Sleep(time.Duration(float64(r.Size) / n.spec.HostMemBandwidth * 1e9))
-		if acc != nil && partial != nil && combiner != nil {
+		// The host buffer is re-fetched per fold: an unrelated overlapping
+		// Bytes call during the sleep may have re-based the backing extent.
+		if acc := n.hostStore.Bytes(r); acc != nil && partial != nil && combiner != nil {
 			combiner(acc, partial)
 		}
 		n.caches[g].Unpin(r)

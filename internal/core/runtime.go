@@ -46,7 +46,19 @@ type Runtime struct {
 	// Config.Faults is set; every fault path is gated on it).
 	ft *ftState
 
+	// userErr records the first user-program error (malformed dependence
+	// clauses, missing combiners). The offending task is not submitted;
+	// Run surfaces the error after the engine drains.
+	userErr error
+
 	stopped bool
+}
+
+// fail records the first user-program error.
+func (rt *Runtime) fail(err error) {
+	if rt.userErr == nil {
+		rt.userErr = err
+	}
 }
 
 // New builds a runtime over a fresh simulation engine.
@@ -115,8 +127,16 @@ func (rt *Runtime) newTaskID() task.ID {
 	return rt.taskSeq
 }
 
-// submit registers t with the dependency graph.
-func (rt *Runtime) submit(t *task.Task) {
+// submit registers t with the dependency graph. A malformed clause set is
+// reported as an error; the task is not submitted and the graph stays
+// untouched.
+func (rt *Runtime) submit(t *task.Task) error {
+	// Pre-validate so the idle/pending bookkeeping is only done for tasks
+	// that actually enter the graph (onReady fires synchronously inside
+	// graph.Submit and relies on it).
+	if _, err := depgraph.Normalize(t.Deps); err != nil {
+		return fmt.Errorf("%v: %w", t, err)
+	}
 	if rt.pending == 0 {
 		rt.idleEvt = sim.NewEvent(rt.e)
 	}
@@ -124,8 +144,19 @@ func (rt *Runtime) submit(t *task.Task) {
 	rt.taskDone[t.ID] = sim.NewEvent(rt.e)
 	prev := rt.releasePlace
 	rt.releasePlace = -1 // submit-time readiness is not a release
-	rt.graph.Submit(t)
+	err := rt.graph.Submit(t)
 	rt.releasePlace = prev
+	if err != nil {
+		// Normalize passed but Submit rejected (cross-task reduction
+		// overlap): roll the bookkeeping back.
+		delete(rt.taskDone, t.ID)
+		rt.pending--
+		if rt.pending == 0 {
+			rt.idleEvt.Trigger()
+		}
+		return err
+	}
+	return nil
 }
 
 // finishTask retires t, releasing dependents. place is the master-level
@@ -195,6 +226,9 @@ func (rt *Runtime) Run(main func(mc *MainCtx)) (Stats, error) {
 	})
 	err := rt.e.Run()
 	rt.stopped = true
+	if err == nil {
+		err = rt.userErr
+	}
 	return rt.collectStats(), err
 }
 
@@ -270,13 +304,16 @@ func (mc *MainCtx) Submit(def TaskDef) *task.Task {
 	for _, d := range t.Deps {
 		if d.Access == task.Red {
 			if _, ok := t.Reductions[d.Region.Addr]; !ok {
-				panic(fmt.Sprintf("core: %v has a reduction dependence on %v but no combiner (use the Reduction clause)", t, d.Region))
+				rt.fail(fmt.Errorf("core: %v has a reduction dependence on %v but no combiner (use the Reduction clause)", t, d.Region))
+				return t
 			}
 		}
 	}
 	// Task creation overhead on the master thread.
 	mc.p.Sleep(3 * time.Microsecond)
-	rt.submit(t)
+	if err := rt.submit(t); err != nil {
+		rt.fail(err)
+	}
 	return t
 }
 
@@ -320,7 +357,7 @@ func (rt *Runtime) flushAll(p *sim.Proc) {
 	regions := m.dir.Regions()
 	var wait []*sim.Event
 	for _, r := range regions {
-		if m.dir.IsHolder(r, memspace.Host(0)) && len(m.redPartials[r.Addr]) == 0 &&
+		if m.dir.IsHolder(r, memspace.Host(0)) && len(m.overlappingRedRegions(r)) == 0 &&
 			!rt.restorePending(r) {
 			continue
 		}

@@ -1,9 +1,14 @@
 // Package depgraph maintains the task dependency DAG of the runtime
 // (Section III.C.1 of the paper): arcs are created for read-after-write,
 // write-after-read and write-after-write conflicts between sibling tasks,
-// based on their input/output/inout clauses. Regions never partially
-// overlap (the paper's implementation restriction), so conflicts are
-// detected by exact region address.
+// based on their input/output/inout clauses.
+//
+// The paper's implementation restriction that regions must exactly
+// coincide or be disjoint is lifted here: conflicts are tracked per
+// fragment of an interval map, so partially overlapping regions produce
+// ordinary dependence arcs on the shared bytes. A program whose regions
+// never partially overlap keeps one fragment per region and builds the
+// exact same arcs, in the same order, as the exact-match model.
 //
 // One Graph instance covers one dynamic extent (the children of one parent
 // task); this is what makes the hierarchical, distributable implementation
@@ -12,6 +17,8 @@ package depgraph
 
 import (
 	"fmt"
+	"slices"
+	"sort"
 
 	"github.com/bsc-repro/ompss/internal/memspace"
 	"github.com/bsc-repro/ompss/internal/task"
@@ -25,20 +32,27 @@ type node struct {
 	succSet    map[task.ID]bool
 }
 
-type regionState struct {
+// fragState holds the conflict bookkeeping for one fragment of the
+// address space. Fragments are disjoint and sorted by address; they split
+// when a region boundary lands strictly inside one.
+type fragState struct {
+	r          memspace.Region
 	lastWriter *node
 	// readers since the last write; cleared when a new writer arrives.
 	readers []*node
 	// reducers since the last write: reduction tasks commute with each
-	// other but order against readers and writers.
-	reducers []*node
+	// other but order against readers and writers. redRegion is the exact
+	// region those pending reductions were declared on — reductions only
+	// commute over identical regions.
+	reducers  []*node
+	redRegion memspace.Region
 }
 
 // Graph is the dependency DAG for one dynamic extent.
 type Graph struct {
 	onReady func(*task.Task)
 	nodes   map[task.ID]*node
-	regions map[uint64]*regionState
+	frags   []*fragState // sorted by address, pairwise disjoint
 
 	submitted int
 	finished  int
@@ -56,44 +70,120 @@ func New(onReady func(*task.Task)) *Graph {
 	return &Graph{
 		onReady: onReady,
 		nodes:   make(map[task.ID]*node),
-		regions: make(map[uint64]*regionState),
 	}
 }
 
-// mergedAccess combines duplicate clauses on the same region (e.g. a task
-// listing a region both input and output behaves as inout).
-func mergedAccess(deps []task.Dep) []task.Dep {
-	byAddr := make(map[uint64]int)
+// Normalize validates and canonicalizes the dependence clauses of one
+// task: invalid (empty) regions are dropped, duplicate clauses on the
+// exact same region merge (input + output behaves as inout), and the two
+// unsupported shapes are reported as errors rather than panics — a region
+// listed both as a reduction and as another access, and a reduction
+// region partially overlapping any other clause of the task. Callers
+// surface the error to the user program through ompss.Run.
+func Normalize(deps []task.Dep) ([]task.Dep, error) {
 	var out []task.Dep
 	for _, d := range deps {
 		if !d.Region.Valid() {
 			continue
 		}
-		if i, seen := byAddr[d.Region.Addr]; seen {
+		merged := false
+		for i := range out {
 			if out[i].Region != d.Region {
-				panic(fmt.Sprintf("depgraph: partially overlapping regions %v and %v are unsupported", out[i].Region, d.Region))
+				continue
 			}
 			if out[i].Access != d.Access {
 				if out[i].Access == task.Red || d.Access == task.Red {
-					panic(fmt.Sprintf("depgraph: region %v mixes reduction with other accesses in one task", d.Region))
+					return nil, fmt.Errorf("depgraph: region %v mixes reduction with other accesses in one task", d.Region)
 				}
 				out[i].Access = task.InOut
 			}
-			continue
+			merged = true
+			break
 		}
-		byAddr[d.Region.Addr] = len(out)
-		out = append(out, d)
+		if !merged {
+			out = append(out, d)
+		}
+	}
+	for i := range out {
+		for j := i + 1; j < len(out); j++ {
+			if out[i].Access != task.Red && out[j].Access != task.Red {
+				continue
+			}
+			if out[i].Region.Overlaps(out[j].Region) {
+				return nil, fmt.Errorf("depgraph: reduction region %v partially overlaps %v in one task", out[i].Region, out[j].Region)
+			}
+		}
+	}
+	return out, nil
+}
+
+// searchFrag returns the index of the first fragment ending past addr.
+func (g *Graph) searchFrag(addr uint64) int {
+	return sort.Search(len(g.frags), func(i int) bool { return g.frags[i].r.End() > addr })
+}
+
+// overlapping returns the existing fragments overlapping r, in address
+// order, without modifying the fragment map.
+func (g *Graph) overlapping(r memspace.Region) []*fragState {
+	var out []*fragState
+	for i := g.searchFrag(r.Addr); i < len(g.frags) && g.frags[i].r.Addr < r.End(); i++ {
+		out = append(out, g.frags[i])
 	}
 	return out
 }
 
-func (g *Graph) region(r memspace.Region) *regionState {
-	rs, ok := g.regions[r.Addr]
-	if !ok {
-		rs = &regionState{}
-		g.regions[r.Addr] = rs
+// splitAt splits the fragment strictly containing addr into two fragments
+// meeting at addr, cloning its bookkeeping. No-op when addr falls on a
+// fragment boundary or outside every fragment.
+func (g *Graph) splitAt(addr uint64) {
+	i := g.searchFrag(addr)
+	if i >= len(g.frags) {
+		return
 	}
-	return rs
+	f := g.frags[i]
+	if f.r.Addr >= addr {
+		return
+	}
+	end := f.r.End()
+	left := &fragState{
+		r:          memspace.Region{Addr: f.r.Addr, Size: addr - f.r.Addr},
+		lastWriter: f.lastWriter,
+		readers:    slices.Clone(f.readers),
+		reducers:   slices.Clone(f.reducers),
+		redRegion:  f.redRegion,
+	}
+	f.r = memspace.Region{Addr: addr, Size: end - addr}
+	g.frags = slices.Insert(g.frags, i, left)
+}
+
+// cover returns the fragments exactly tiling r, in address order, splitting
+// existing fragments at r's bounds and creating fresh fragments for
+// uncovered gaps. A region that never partially overlaps another maps to a
+// single fragment equal to itself.
+func (g *Graph) cover(r memspace.Region) []*fragState {
+	g.splitAt(r.Addr)
+	g.splitAt(r.End())
+	var out []*fragState
+	pos := r.Addr
+	i := g.searchFrag(r.Addr)
+	for pos < r.End() {
+		if i < len(g.frags) && g.frags[i].r.Addr == pos {
+			out = append(out, g.frags[i])
+			pos = g.frags[i].r.End()
+			i++
+			continue
+		}
+		gapEnd := r.End()
+		if i < len(g.frags) && g.frags[i].r.Addr < gapEnd {
+			gapEnd = g.frags[i].r.Addr
+		}
+		nf := &fragState{r: memspace.Region{Addr: pos, Size: gapEnd - pos}}
+		g.frags = slices.Insert(g.frags, i, nf)
+		out = append(out, nf)
+		pos = gapEnd
+		i++
+	}
+	return out
 }
 
 // addArc makes succ wait for pred unless pred already finished or the arc
@@ -114,57 +204,82 @@ func (g *Graph) addArc(pred, succ *node) {
 }
 
 // Submit adds t to the graph, wiring RAW/WAR/WAW arcs against earlier
-// siblings. If t has no pending predecessors, onReady fires before Submit
-// returns.
-func (g *Graph) Submit(t *task.Task) {
+// siblings per overlapped fragment. If t has no pending predecessors,
+// onReady fires before Submit returns. Malformed clause sets (see
+// Normalize) are reported as an error before the graph is touched;
+// duplicate submission of a task ID is an internal invariant violation and
+// still panics.
+func (g *Graph) Submit(t *task.Task) error {
 	if _, dup := g.nodes[t.ID]; dup {
 		panic(fmt.Sprintf("depgraph: duplicate submit of %v", t))
+	}
+	deps, err := Normalize(t.Deps)
+	if err != nil {
+		return fmt.Errorf("%v: %w", t, err)
+	}
+	// Cross-task guard, checked before any mutation: bytes under a pending
+	// reduction may only be accessed by another reduction over the exact
+	// same region — reductions only commute over identical accumulators.
+	for _, d := range deps {
+		if d.Access != task.Red {
+			continue
+		}
+		for _, f := range g.overlapping(d.Region) {
+			if len(f.reducers) > 0 && f.redRegion != d.Region {
+				return fmt.Errorf("depgraph: %v: reduction over %v partially overlaps pending reduction over %v", t, d.Region, f.redRegion)
+			}
+		}
 	}
 	n := &node{t: t, succSet: make(map[task.ID]bool)}
 	g.nodes[t.ID] = n
 	g.submitted++
-	for _, d := range mergedAccess(t.Deps) {
-		rs := g.region(d.Region)
-		if d.Access == task.Red {
-			// Reductions wait for the previous writer and any readers of
-			// the old value, but not for each other.
-			g.addArc(rs.lastWriter, n)
-			for _, rd := range rs.readers {
-				g.addArc(rd, n)
+	for _, d := range deps {
+		for _, f := range g.cover(d.Region) {
+			if d.Access == task.Red {
+				// Reductions wait for the previous writer and any readers
+				// of the old value, but not for each other.
+				g.addArc(f.lastWriter, n)
+				for _, rd := range f.readers {
+					g.addArc(rd, n)
+				}
+				f.reducers = append(f.reducers, n)
+				f.redRegion = d.Region
+				f.readers = nil
+				continue
 			}
-			rs.reducers = append(rs.reducers, n)
-			rs.readers = nil
-			continue
-		}
-		if d.Access.Reads() {
-			g.addArc(rs.lastWriter, n) // read-after-write
-			for _, rx := range rs.reducers {
-				g.addArc(rx, n) // read-after-reduction: combine must be possible
+			if d.Access.Reads() {
+				g.addArc(f.lastWriter, n) // read-after-write
+				for _, rx := range f.reducers {
+					g.addArc(rx, n) // read-after-reduction: combine must be possible
+				}
 			}
-		}
-		if d.Access.Writes() {
-			g.addArc(rs.lastWriter, n) // write-after-write
-			for _, rd := range rs.readers {
-				g.addArc(rd, n) // write-after-read
+			if d.Access.Writes() {
+				g.addArc(f.lastWriter, n) // write-after-write
+				for _, rd := range f.readers {
+					g.addArc(rd, n) // write-after-read
+				}
+				for _, rx := range f.reducers {
+					g.addArc(rx, n) // write-after-reduction
+				}
 			}
-			for _, rx := range rs.reducers {
-				g.addArc(rx, n) // write-after-reduction
+			// Update fragment bookkeeping after arcs are in place.
+			if d.Access.Writes() {
+				f.lastWriter = n
+				f.readers = nil
+				f.reducers = nil
+				f.redRegion = memspace.Region{}
 			}
-		}
-		// Update region bookkeeping after arcs are in place.
-		if d.Access.Writes() {
-			rs.lastWriter = n
-			rs.readers = nil
-			rs.reducers = nil
-		}
-		if d.Access == task.In {
-			rs.readers = append(rs.readers, n)
-			rs.reducers = nil
+			if d.Access == task.In {
+				f.readers = append(f.readers, n)
+				f.reducers = nil
+				f.redRegion = memspace.Region{}
+			}
 		}
 	}
 	if n.waitCount == 0 {
 		g.onReady(t)
 	}
+	return nil
 }
 
 // Finished marks t complete and releases successors whose last pending
@@ -207,12 +322,14 @@ func (g *Graph) Successors(t *task.Task) []*task.Task {
 // Pending returns the number of submitted-but-unfinished tasks.
 func (g *Graph) Pending() int { return g.submitted - g.finished }
 
-// LastWriter returns the unfinished task that will produce the current
-// version of r, or nil. Used by taskwait-on.
+// LastWriter returns an unfinished task that will produce part of the
+// current version of r, or nil when every byte of r is settled. Used by
+// taskwait-on, which loops until no writer remains.
 func (g *Graph) LastWriter(r memspace.Region) *task.Task {
-	rs, ok := g.regions[r.Addr]
-	if !ok || rs.lastWriter == nil || rs.lastWriter.done {
-		return nil
+	for _, f := range g.overlapping(r) {
+		if f.lastWriter != nil && !f.lastWriter.done {
+			return f.lastWriter.t
+		}
 	}
-	return rs.lastWriter.t
+	return nil
 }

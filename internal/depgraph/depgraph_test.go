@@ -15,7 +15,10 @@ func mk(name string, deps ...task.Dep) *task.Task {
 	return &task.Task{ID: nextID, Name: name, Deps: deps}
 }
 
-func reg(addr uint64) memspace.Region { return memspace.Region{Addr: addr, Size: 64} }
+// reg maps a small test key to a disjoint 64-byte region. Keys used to be
+// raw addresses; now that conflicts are overlap-based the regions must
+// actually be disjoint for distinct keys.
+func reg(addr uint64) memspace.Region { return memspace.Region{Addr: addr * 64, Size: 64} }
 
 func in(addr uint64) task.Dep    { return task.Dep{Region: reg(addr), Access: task.In} }
 func out(addr uint64) task.Dep   { return task.Dep{Region: reg(addr), Access: task.Out} }
@@ -262,17 +265,65 @@ func TestDoubleFinishPanics(t *testing.T) {
 	tr.g.Finished(w)
 }
 
-func TestPartialOverlapPanics(t *testing.T) {
+func TestPartialOverlapWithinTask(t *testing.T) {
+	// A task reading a region and writing a sub-range of it used to panic;
+	// both clauses now coexist (the write clause claims its fragment).
 	tr := newTracker()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	tr.g.Submit(mk("bad",
+	if err := tr.g.Submit(mk("ok",
 		task.Dep{Region: memspace.Region{Addr: 1, Size: 64}, Access: task.In},
 		task.Dep{Region: memspace.Region{Addr: 1, Size: 32}, Access: task.Out},
-	))
+	)); err != nil {
+		t.Fatalf("partial overlap rejected: %v", err)
+	}
+	if got := names(tr.takeReady()); got != "[ok]" {
+		t.Fatalf("ready = %s", got)
+	}
+}
+
+func TestPartialOverlapAcrossTasks(t *testing.T) {
+	// Halo pattern: a writer of [0,64) at addr 1000, a writer of [64,128),
+	// and a reader of the straddling middle [32,96) must wait for both.
+	tr := newTracker()
+	w1 := mk("w1", task.Dep{Region: memspace.Region{Addr: 1000, Size: 64}, Access: task.Out})
+	w2 := mk("w2", task.Dep{Region: memspace.Region{Addr: 1064, Size: 64}, Access: task.Out})
+	rd := mk("rd", task.Dep{Region: memspace.Region{Addr: 1032, Size: 64}, Access: task.In})
+	tr.g.Submit(w1)
+	tr.g.Submit(w2)
+	tr.g.Submit(rd)
+	if got := names(tr.takeReady()); got != "[w1 w2]" {
+		t.Fatalf("ready = %s", got)
+	}
+	tr.g.Finished(w1)
+	if got := names(tr.takeReady()); got != "[]" {
+		t.Fatalf("reader released with only one writer done: %s", got)
+	}
+	tr.g.Finished(w2)
+	if got := names(tr.takeReady()); got != "[rd]" {
+		t.Fatalf("after both writers: %s", got)
+	}
+	// A subsequent writer overlapping the reader's range waits for it (WAR).
+	w3 := mk("w3", task.Dep{Region: memspace.Region{Addr: 1032, Size: 16}, Access: task.Out})
+	tr.g.Submit(w3)
+	if got := names(tr.takeReady()); got != "[]" {
+		t.Fatalf("overlapping writer released past reader: %s", got)
+	}
+	tr.g.Finished(rd)
+	if got := names(tr.takeReady()); got != "[w3]" {
+		t.Fatalf("after reader: %s", got)
+	}
+}
+
+func TestLastWriterOverlap(t *testing.T) {
+	tr := newTracker()
+	w := mk("w", task.Dep{Region: memspace.Region{Addr: 500, Size: 64}, Access: task.Out})
+	tr.g.Submit(w)
+	// Any region overlapping the written range reports the writer.
+	if got := tr.g.LastWriter(memspace.Region{Addr: 530, Size: 64}); got != w {
+		t.Fatalf("LastWriter over partial overlap = %v", got)
+	}
+	if got := tr.g.LastWriter(memspace.Region{Addr: 564, Size: 8}); got != nil {
+		t.Fatalf("LastWriter past the region = %v", got)
+	}
 }
 
 // Property: for any random schedule of single-region tasks, (1) every task
@@ -432,12 +483,55 @@ func TestNewReductionPhaseAfterRead(t *testing.T) {
 	}
 }
 
-func TestMixedRedAndOtherAccessPanics(t *testing.T) {
+func TestMixedRedAndOtherAccessErrors(t *testing.T) {
 	tr := newTracker()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	tr.g.Submit(mk("bad", red(1), in(1)))
+	if err := tr.g.Submit(mk("bad", red(1), in(1))); err == nil {
+		t.Fatal("expected error for mixed reduction/input clauses")
+	}
+	if tr.g.Pending() != 0 {
+		t.Fatal("rejected task must not enter the graph")
+	}
+	// A reduction clause partially overlapping another clause of the same
+	// task is also rejected, by Normalize directly and through Submit.
+	bad := []task.Dep{
+		{Region: memspace.Region{Addr: 1, Size: 64}, Access: task.Red},
+		{Region: memspace.Region{Addr: 33, Size: 64}, Access: task.In},
+	}
+	if _, err := Normalize(bad); err == nil {
+		t.Fatal("Normalize must reject a partially overlapping reduction")
+	}
+	if err := tr.g.Submit(mk("bad2", bad...)); err == nil {
+		t.Fatal("expected error for partially overlapping reduction")
+	}
+}
+
+func TestCrossTaskReductionOverlapErrors(t *testing.T) {
+	tr := newTracker()
+	if err := tr.g.Submit(mk("r1", red(1))); err != nil {
+		t.Fatalf("r1: %v", err)
+	}
+	// A second reduction over a different, overlapping region cannot
+	// commute with the pending one.
+	shifted := task.Dep{Region: memspace.Region{Addr: reg(1).Addr + 32, Size: 64}, Access: task.Red}
+	if err := tr.g.Submit(mk("r2", shifted)); err == nil {
+		t.Fatal("expected error for overlapping reduction regions across tasks")
+	}
+	// The exact same region still commutes.
+	if err := tr.g.Submit(mk("r3", red(1))); err != nil {
+		t.Fatalf("r3: %v", err)
+	}
+}
+
+func TestNormalizeMergesAndDrops(t *testing.T) {
+	got, err := Normalize([]task.Dep{
+		{Region: memspace.Region{}, Access: task.In}, // invalid: dropped
+		in(5), out(5), // merges to inout
+		in(6),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Access != task.InOut || got[0].Region != reg(5) || got[1].Access != task.In {
+		t.Fatalf("Normalize = %v", got)
+	}
 }

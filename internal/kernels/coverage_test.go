@@ -37,6 +37,8 @@ func allKernels(al *memspace.Allocator) []task.Work {
 		NBodyForces{PrevBlocks: []memspace.Region{pos}, Vel: vel, Out: out, N: 32, Block0: 0, BlockN: 16, DT: 0.01, Soften2: 0.01},
 		NBodyInit{Pos: out, Vel: vel, Block0: 0, InitPos: func(n int) []float32 { return make([]float32, 4*n) }},
 		GatherPos{Blocks: []memspace.Region{out}, AllPos: pos, Counts: []int{16}},
+		HeatInit{R: blk, Block0: 0},
+		JacobiStep{In: blk, Out: blk2, Alpha: 0.25},
 	}
 }
 

@@ -617,6 +617,93 @@ func (k FillChunk) Run(store *memspace.Store) {
 	}
 }
 
+// The heat kernels implement a 1-D Jacobi diffusion step over a blocked
+// rod of float64 cells. Each step task reads its block plus one halo cell
+// on each interior side — a region that partially overlaps the
+// neighbouring blocks — so the stencil exercises the fragment-based
+// dependence and coherence tracking end to end.
+
+// HeatCell is the deterministic initial temperature of global cell i,
+// shared by the parallel init tasks and the serial reference.
+func HeatCell(i int) float64 { return float64((i*31)%97) / 97 }
+
+// HeatInit fills one block of the rod with the initial profile.
+type HeatInit struct {
+	R      memspace.Region
+	Block0 int // global index of the block's first cell
+}
+
+// Name implements task.Work.
+func (k HeatInit) Name() string { return "heat-init" }
+
+// GPUCost implements task.Work (pure write bandwidth).
+func (k HeatInit) GPUCost(spec hw.GPUSpec) time.Duration {
+	return gpusim.KernelCost(spec, 0, float64(k.R.Size))
+}
+
+// CPUCost implements task.Work.
+func (k HeatInit) CPUCost(spec hw.NodeSpec) time.Duration {
+	return cpuCost(spec, 0, float64(k.R.Size))
+}
+
+// Run implements task.Work.
+func (k HeatInit) Run(store *memspace.Store) {
+	if store == nil {
+		return
+	}
+	v := f64(store.Bytes(k.R))
+	for i := range v {
+		v[i] = HeatCell(k.Block0 + i)
+	}
+}
+
+// JacobiStep computes one diffusion step for one block:
+//
+//	out[i] = in[i] + alpha*(in[i-1] - 2*in[i] + in[i+1])
+//
+// with the rod's two boundary cells held fixed (Dirichlet). In covers the
+// block plus LeftHalo/RightHalo extra cells (0 at the rod's edges).
+type JacobiStep struct {
+	In, Out   memspace.Region
+	LeftHalo  int
+	RightHalo int
+	Alpha     float64
+}
+
+// Name implements task.Work.
+func (k JacobiStep) Name() string { return "jacobi" }
+
+func (k JacobiStep) cells() float64 { return float64(k.Out.Size) / 8 }
+
+// GPUCost implements task.Work.
+func (k JacobiStep) GPUCost(spec hw.GPUSpec) time.Duration {
+	return gpusim.KernelCost(spec, 4*k.cells(), float64(k.In.Size+k.Out.Size))
+}
+
+// CPUCost implements task.Work.
+func (k JacobiStep) CPUCost(spec hw.NodeSpec) time.Duration {
+	return cpuCost(spec, 4*k.cells(), float64(k.In.Size+k.Out.Size))
+}
+
+// Run implements task.Work. The arithmetic matches the serial reference
+// expression for expression, so validated runs compare bit-identical.
+func (k JacobiStep) Run(store *memspace.Store) {
+	if store == nil {
+		return
+	}
+	in := f64(store.Bytes(k.In))
+	out := f64(store.Bytes(k.Out))
+	n := len(out)
+	for i := 0; i < n; i++ {
+		j := i + k.LeftHalo
+		if (i == 0 && k.LeftHalo == 0) || (i == n-1 && k.RightHalo == 0) {
+			out[i] = in[j] // fixed boundary cell
+			continue
+		}
+		out[i] = in[j] + k.Alpha*(in[j-1]-2*in[j]+in[j+1])
+	}
+}
+
 // NBodyInit fills one block's initial positions (from the deterministic
 // global sequence produced by InitPos) and zeroes its velocities.
 type NBodyInit struct {

@@ -3,12 +3,20 @@
 // clauses), locations (host or GPU address spaces), and optional backing
 // stores holding real bytes for validation runs.
 //
-// Following the paper (Section II.A.3), dependence regions may not
-// partially overlap: a region is identified by its exact (address, size)
-// pair, and two regions either coincide or are disjoint.
+// The paper (Section II.A.3) carries the Nanos++ implementation
+// restriction that dependence regions must exactly coincide or be
+// disjoint. This reproduction lifts it: regions are plain byte intervals
+// with full interval arithmetic (Intersect, Subtract, Canonicalize), and
+// the runtime layers above track fragments of them independently. A
+// program whose regions never partially overlap exercises exactly the
+// single-fragment fast paths and behaves bit-identically to the
+// restricted model.
 package memspace
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Region names a contiguous piece of program data.
 type Region struct {
@@ -27,7 +35,81 @@ func (r Region) Overlaps(s Region) bool {
 	return r.Addr < s.End() && s.Addr < r.End()
 }
 
+// Contains reports whether s lies entirely within r. The empty region is
+// contained nowhere (mirroring Overlaps, where it overlaps nothing).
+func (r Region) Contains(s Region) bool {
+	return s.Valid() && r.Addr <= s.Addr && s.End() <= r.End()
+}
+
+// Intersect returns the bytes shared by r and s. The zero Region (not
+// Valid) means the intersection is empty.
+func (r Region) Intersect(s Region) Region {
+	lo, hi := max64(r.Addr, s.Addr), min64(r.End(), s.End())
+	if lo >= hi {
+		return Region{}
+	}
+	return Region{Addr: lo, Size: hi - lo}
+}
+
+// Subtract returns the parts of r not covered by s: zero, one or two
+// pieces, in address order.
+func (r Region) Subtract(s Region) []Region {
+	if !r.Overlaps(s) {
+		if !r.Valid() {
+			return nil
+		}
+		return []Region{r}
+	}
+	var out []Region
+	if r.Addr < s.Addr {
+		out = append(out, Region{Addr: r.Addr, Size: s.Addr - r.Addr})
+	}
+	if s.End() < r.End() {
+		out = append(out, Region{Addr: s.End(), Size: r.End() - s.End()})
+	}
+	return out
+}
+
 func (r Region) String() string { return fmt.Sprintf("[%#x,+%d)", r.Addr, r.Size) }
+
+// Canonicalize returns the canonical fragment set covering the same bytes
+// as regions: sorted by address, with overlapping or adjacent fragments
+// coalesced and empty regions dropped. The result is a fixed point:
+// Canonicalize(Canonicalize(x)) == Canonicalize(x).
+func Canonicalize(regions []Region) []Region {
+	var in []Region
+	for _, r := range regions {
+		if r.Valid() {
+			in = append(in, r)
+		}
+	}
+	sort.Slice(in, func(i, j int) bool { return in[i].Addr < in[j].Addr })
+	var out []Region
+	for _, r := range in {
+		if n := len(out); n > 0 && out[n-1].End() >= r.Addr {
+			if r.End() > out[n-1].End() {
+				out[n-1].Size = r.End() - out[n-1].Addr
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
 
 // HostDev is the device index denoting a node's host memory.
 const HostDev = -1
@@ -81,54 +163,121 @@ func (a *Allocator) Alloc(size uint64, align uint64) Region {
 	return Region{Addr: addr, Size: size}
 }
 
-// Store holds real bytes for one address space, keyed by region address.
-// Stores exist only in validation mode; cost-only simulations pass nil
-// stores around and every method of a nil Store is a no-op.
+// extent is one contiguous run of backed bytes in a store.
+type extent struct {
+	start uint64
+	buf   []byte
+}
+
+func (e extent) end() uint64 { return e.start + uint64(len(e.buf)) }
+
+// Store holds real bytes for one address space as a sorted list of
+// disjoint extents. Regions are byte ranges into that space: Bytes on a
+// sub-range of an existing extent aliases the containing buffer, so
+// overlapping regions see each other's writes, exactly like overlapping
+// slices of one program array. Stores exist only in validation mode;
+// cost-only simulations pass nil stores around and every method of a nil
+// Store is a no-op.
 type Store struct {
-	loc  Location
-	data map[uint64][]byte
+	loc     Location
+	extents []extent
 }
 
 // NewStore returns an empty backing store for location loc.
 func NewStore(loc Location) *Store {
-	return &Store{loc: loc, data: make(map[uint64][]byte)}
+	return &Store{loc: loc}
 }
 
 // Location returns the address space this store backs.
 func (s *Store) Location() Location { return s.loc }
 
-// Bytes returns the buffer backing region r, allocating it zeroed on first
-// use. Returns nil on a nil store.
+// search returns the index of the first extent whose end is past addr.
+func (s *Store) search(addr uint64) int {
+	return sort.Search(len(s.extents), func(i int) bool { return s.extents[i].end() > addr })
+}
+
+// Bytes returns the buffer backing region r, allocating zeroed storage on
+// first use. When r lies inside one existing extent the returned slice
+// aliases it; otherwise every extent overlapping r is merged (preserving
+// its bytes) into one covering extent first. Returns nil on a nil store
+// or an empty region.
 func (s *Store) Bytes(r Region) []byte {
-	if s == nil {
+	if s == nil || !r.Valid() {
 		return nil
 	}
-	b, ok := s.data[r.Addr]
-	if !ok {
-		b = make([]byte, r.Size)
-		s.data[r.Addr] = b
+	i := s.search(r.Addr)
+	if i < len(s.extents) {
+		if e := s.extents[i]; e.start <= r.Addr && r.End() <= e.end() {
+			off := r.Addr - e.start
+			return e.buf[off : off+r.Size : off+r.Size]
+		}
 	}
-	if uint64(len(b)) != r.Size {
-		panic(fmt.Sprintf("memspace: region %v size mismatch with existing buffer of %d bytes", r, len(b)))
+	// Merge r with every overlapping extent into one fresh extent.
+	j := i
+	lo, hi := r.Addr, r.End()
+	for j < len(s.extents) && s.extents[j].start < r.End() {
+		if s.extents[j].start < lo {
+			lo = s.extents[j].start
+		}
+		if e := s.extents[j].end(); e > hi {
+			hi = e
+		}
+		j++
 	}
-	return b
+	buf := make([]byte, hi-lo)
+	for _, e := range s.extents[i:j] {
+		copy(buf[e.start-lo:], e.buf)
+	}
+	merged := extent{start: lo, buf: buf}
+	s.extents = append(s.extents[:i], append([]extent{merged}, s.extents[j:]...)...)
+	off := r.Addr - lo
+	return buf[off : off+r.Size : off+r.Size]
 }
 
-// Has reports whether the store holds a buffer for r.
+// Has reports whether every byte of r is backed.
 func (s *Store) Has(r Region) bool {
-	if s == nil {
+	if s == nil || !r.Valid() {
 		return false
 	}
-	_, ok := s.data[r.Addr]
-	return ok
+	pos := r.Addr
+	for i := s.search(r.Addr); i < len(s.extents) && pos < r.End(); i++ {
+		e := s.extents[i]
+		if e.start > pos {
+			return false
+		}
+		if e.end() >= pos {
+			pos = e.end()
+		}
+	}
+	return pos >= r.End()
 }
 
-// Drop releases the buffer for r, if present.
+// Drop releases the backing of r. Extents partially covered by r are
+// trimmed, keeping their bytes outside r; a later Bytes of the dropped
+// range comes back zeroed.
 func (s *Store) Drop(r Region) {
-	if s == nil {
+	if s == nil || !r.Valid() {
 		return
 	}
-	delete(s.data, r.Addr)
+	i := s.search(r.Addr)
+	var repl []extent
+	j := i
+	for j < len(s.extents) && s.extents[j].start < r.End() {
+		e := s.extents[j]
+		if e.start < r.Addr {
+			n := r.Addr - e.start
+			repl = append(repl, extent{start: e.start, buf: e.buf[:n:n]})
+		}
+		if e.end() > r.End() {
+			off := r.End() - e.start
+			repl = append(repl, extent{start: r.End(), buf: e.buf[off:]})
+		}
+		j++
+	}
+	if i == j {
+		return
+	}
+	s.extents = append(s.extents[:i], append(repl, s.extents[j:]...)...)
 }
 
 // CopyRegion copies the bytes of region r from src to dst. A nil store on

@@ -81,10 +81,148 @@ func TestStoreRoundTrip(t *testing.T) {
 	}
 }
 
-func TestStoreSizeMismatchPanics(t *testing.T) {
+func TestStoreGrowsRegion(t *testing.T) {
+	// A larger region at the same address used to panic (exact-match
+	// restriction); it now extends the backing, preserving the old bytes.
 	s := NewStore(Host(0))
-	s.Bytes(Region{Addr: 0x2000, Size: 8})
-	mustPanic(t, func() { s.Bytes(Region{Addr: 0x2000, Size: 16}) })
+	b := s.Bytes(Region{Addr: 0x2000, Size: 8})
+	b[0], b[7] = 11, 22
+	big := s.Bytes(Region{Addr: 0x2000, Size: 16})
+	if len(big) != 16 || big[0] != 11 || big[7] != 22 || big[8] != 0 {
+		t.Fatalf("grown buffer = %v", big)
+	}
+}
+
+func TestStoreBytesSubRangeAliasing(t *testing.T) {
+	s := NewStore(GPU(0, 0))
+	whole := Region{Addr: 0x1000, Size: 64}
+	sub := Region{Addr: 0x1010, Size: 16}
+	w := s.Bytes(whole)
+	w[0x10] = 7
+	if got := s.Bytes(sub)[0]; got != 7 {
+		t.Fatalf("sub-range does not alias whole, got %d", got)
+	}
+	s.Bytes(sub)[1] = 9
+	if w[0x11] != 9 {
+		t.Fatalf("write through sub-range invisible in whole, got %d", w[0x11])
+	}
+	// Two partially overlapping regions created separately merge into one
+	// covering extent, preserving bytes.
+	a := Region{Addr: 0x2000, Size: 32}
+	b := Region{Addr: 0x2010, Size: 32}
+	s.Bytes(a)[0x1f] = 42
+	bb := s.Bytes(b)
+	if bb[0xf] != 42 {
+		t.Fatalf("merge lost bytes, got %d", bb[0xf])
+	}
+	bb[0x10] = 13
+	if got := s.Bytes(Region{Addr: 0x2000, Size: 48})[0x20]; got != 13 {
+		t.Fatalf("merged extent lost later write, got %d", got)
+	}
+	if !s.Has(Region{Addr: 0x2000, Size: 48}) {
+		t.Fatal("merged range should be fully backed")
+	}
+	if s.Has(Region{Addr: 0x2000, Size: 49}) {
+		t.Fatal("range past the merged extent is not backed")
+	}
+}
+
+func TestStorePartialDrop(t *testing.T) {
+	s := NewStore(Host(0))
+	r := Region{Addr: 0x100, Size: 0x30}
+	b := s.Bytes(r)
+	for i := range b {
+		b[i] = 0xff
+	}
+	s.Drop(Region{Addr: 0x110, Size: 0x10})
+	if s.Has(r) {
+		t.Fatal("Has must be false across the dropped middle")
+	}
+	if !s.Has(Region{Addr: 0x100, Size: 0x10}) || !s.Has(Region{Addr: 0x120, Size: 0x10}) {
+		t.Fatal("trimmed edges must stay backed")
+	}
+	nb := s.Bytes(r)
+	if nb[0] != 0xff || nb[0x2f] != 0xff {
+		t.Fatal("surviving edges lost their bytes")
+	}
+	if nb[0x10] != 0 || nb[0x1f] != 0 {
+		t.Fatal("dropped middle must come back zeroed")
+	}
+}
+
+func TestRegionIntersect(t *testing.T) {
+	cases := []struct {
+		a, b, want Region
+	}{
+		{Region{0, 10}, Region{5, 10}, Region{5, 5}},
+		{Region{5, 10}, Region{0, 10}, Region{5, 5}},
+		{Region{0, 10}, Region{10, 5}, Region{}}, // adjacent: empty
+		{Region{0, 10}, Region{20, 5}, Region{}}, // disjoint: empty
+		{Region{0, 10}, Region{0, 10}, Region{0, 10}},
+		{Region{0, 10}, Region{2, 3}, Region{2, 3}},
+		{Region{0, 0}, Region{0, 10}, Region{}}, // zero-size input
+	}
+	for _, c := range cases {
+		if got := c.a.Intersect(c.b); got != c.want {
+			t.Errorf("%v ∩ %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRegionSubtractAndContains(t *testing.T) {
+	a := Region{Addr: 10, Size: 20} // [10,30)
+	if got := a.Subtract(Region{Addr: 15, Size: 5}); len(got) != 2 ||
+		got[0] != (Region{Addr: 10, Size: 5}) || got[1] != (Region{Addr: 20, Size: 10}) {
+		t.Fatalf("middle subtract = %v", got)
+	}
+	if got := a.Subtract(Region{Addr: 0, Size: 15}); len(got) != 1 || got[0] != (Region{Addr: 15, Size: 15}) {
+		t.Fatalf("left subtract = %v", got)
+	}
+	if got := a.Subtract(a); got != nil {
+		t.Fatalf("self subtract = %v", got)
+	}
+	if got := a.Subtract(Region{Addr: 30, Size: 4}); len(got) != 1 || got[0] != a {
+		t.Fatalf("adjacent-but-disjoint subtract = %v", got)
+	}
+	if !a.Contains(Region{Addr: 10, Size: 20}) || !a.Contains(Region{Addr: 29, Size: 1}) {
+		t.Fatal("Contains misses inner regions")
+	}
+	if a.Contains(Region{Addr: 29, Size: 2}) || a.Contains(Region{}) {
+		t.Fatal("Contains accepts outer/empty regions")
+	}
+}
+
+func TestCanonicalizeIdempotent(t *testing.T) {
+	in := []Region{
+		{Addr: 50, Size: 10}, // overlaps the next
+		{Addr: 55, Size: 10},
+		{Addr: 65, Size: 5}, // adjacent: coalesces
+		{Addr: 10, Size: 4},
+		{Addr: 0, Size: 0}, // empty: dropped
+		{Addr: 12, Size: 2},
+	}
+	want := []Region{{Addr: 10, Size: 4}, {Addr: 50, Size: 20}}
+	got := Canonicalize(in)
+	if len(got) != len(want) {
+		t.Fatalf("Canonicalize = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Canonicalize = %v, want %v", got, want)
+		}
+	}
+	again := Canonicalize(got)
+	if len(again) != len(got) {
+		t.Fatalf("not idempotent: %v -> %v", got, again)
+	}
+	for i := range got {
+		if again[i] != got[i] {
+			t.Fatalf("not idempotent: %v -> %v", got, again)
+		}
+	}
+	if Canonicalize(nil) != nil {
+		t.Fatal("Canonicalize(nil) should be nil")
+	}
 }
 
 func TestCopyRegionAndNilStores(t *testing.T) {

@@ -33,7 +33,12 @@ import (
 )
 
 // Region names a contiguous piece of program data; the unit of dependence
-// and copy clauses. Regions must not partially overlap.
+// and copy clauses. Regions of different tasks may overlap arbitrarily:
+// the runtime tracks dependences and coherence per byte range, splitting
+// regions into fragments where writers divide them (the paper's "region
+// versions"). Reduction regions are the one exception — a Reduction
+// clause must use the exact same region as the other tasks reducing into
+// it, and must not partially overlap any other clause.
 type Region = memspace.Region
 
 // Work is a task body: a cost model per device class plus an optional real

@@ -1,6 +1,7 @@
 package ompss
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -215,16 +216,10 @@ func TestReductionOnClusterRunsAtMaster(t *testing.T) {
 	}
 }
 
-func TestReductionWithoutCombinerPanics(t *testing.T) {
+func TestReductionWithoutCombinerErrors(t *testing.T) {
 	cfg := Config{Cluster: MultiGPUSystem(1)}
 	rt := New(cfg)
-	panicked := false
 	_, err := rt.Run(func(ctx *Context) {
-		defer func() {
-			if recover() != nil {
-				panicked = true
-			}
-		}()
 		acc := ctx.Alloc(16)
 		ctx.InitSeq(acc, nil)
 		// Hand-build a Red dependence without registering a combiner.
@@ -233,7 +228,10 @@ func TestReductionWithoutCombinerPanics(t *testing.T) {
 				d.Deps = append(d.Deps, task.Dep{Region: acc, Access: task.Red})
 			})
 	})
-	if !panicked {
-		t.Fatalf("expected submit-time panic for missing combiner (err=%v)", err)
+	if err == nil {
+		t.Fatal("expected Run to surface the missing-combiner error")
+	}
+	if !strings.Contains(err.Error(), "no combiner") {
+		t.Fatalf("error = %v, want a missing-combiner message", err)
 	}
 }
