@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet fmt build test lint race bench baseline resilience cover bench-guard stencil
+.PHONY: check vet fmt build test lint race bench baseline resilience cover bench-guard stencil stress
 
 ## check: gofmt + go vet + build + ompss-lint + full test suite (the tier-1 gate)
 check: fmt vet build lint test
@@ -39,12 +39,18 @@ resilience:
 bench:
 	$(GO) test ./internal/sim/ -run xxx -bench BenchmarkEngine -benchmem
 
+## stress: full-size submission stress (10^6 tasks: tasks/sec of the graph,
+## scheduler and directory hot path; -cpuprofile/-memprofile work here too)
+stress:
+	$(GO) run ./cmd/ompss-bench -experiment stress
+
 ## baseline: time `ompss-bench -experiment all -quick` into BENCH_harness.json
 baseline:
 	sh scripts/perf_baseline.sh
 
-## bench-guard: rerun the quick suite and fail on wall-clock or armed-overhead
-## regression vs BENCH_harness.json (non-required CI job; wide tolerance)
+## bench-guard: rerun the quick suite and fail on wall-clock, armed-overhead
+## or submission tasks/sec regression vs BENCH_harness.json (non-required CI
+## job; wide tolerance)
 bench-guard:
 	sh scripts/bench_guard.sh
 

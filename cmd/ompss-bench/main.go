@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run (fig5..fig13, table1, all)")
+		experiment = flag.String("experiment", "all", "experiment to run (fig5..fig13, table1, stress, all)")
 		quick      = flag.Bool("quick", false, "reduced problem sizes (seconds instead of minutes)")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		csvPath    = flag.String("csv", "", "also write all rows to this CSV file")
@@ -38,12 +38,18 @@ func main() {
 		parallel   = flag.Int("parallel", 1, "grid points simulated concurrently (0 = GOMAXPROCS)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		width      = flag.Int("stress-width", 0, "stress: independent regions per layer (0 = default grid)")
+		depth      = flag.Int("stress-depth", 0, "stress: layers of chained tasks (0 = default grid)")
+		overlap    = flag.Int("stress-overlap", 0, "stress: every Nth column straddles a fragment boundary (0 = none)")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, e := range bench.All() {
 			fmt.Printf("%-8s %s\n", e.Name, e.Title)
+		}
+		for _, e := range bench.Extras() {
+			fmt.Printf("%-8s %s (excluded from \"all\")\n", e.Name, e.Title)
 		}
 		return
 	}
@@ -66,7 +72,10 @@ func main() {
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	opts := bench.Options{Quick: *quick, Parallel: workers}
+	opts := bench.Options{
+		Quick: *quick, Parallel: workers,
+		StressWidth: *width, StressDepth: *depth, StressOverlap: *overlap,
+	}
 	if *tracePath != "" {
 		opts.Trace = trace.New()
 	}

@@ -48,6 +48,16 @@ type Options struct {
 	// recording does not perturb virtual time: the traced run's rows are
 	// bit-identical to an untraced run's.
 	Trace *ompss.Trace
+
+	// StressWidth, StressDepth, and StressOverlap override the stress
+	// experiment's grid shape: width independent regions, depth layers of
+	// one InOut task each, and (when StressOverlap > 0) every
+	// StressOverlap-th column straddling a fragment boundary on odd
+	// layers. Zero means the experiment's defaults (10^6 tasks full,
+	// 10^5 quick). Other experiments ignore these.
+	StressWidth   int
+	StressDepth   int
+	StressOverlap int
 }
 
 // workers resolves Parallel to a concrete worker count.
@@ -87,9 +97,23 @@ func All() []Experiment {
 	}
 }
 
+// Extras returns experiments runnable by name but excluded from "all":
+// their values are host wall-clock measurements (tasks/sec), so they can
+// never be golden-compared and would perturb the suite's timing harness.
+func Extras() []Experiment {
+	return []Experiment{
+		{"stress", "Submission stress: host-side tasks/sec on strided million-task graphs", Stress},
+	}
+}
+
 // ByName returns the experiment called name.
 func ByName(name string) (Experiment, bool) {
 	for _, e := range All() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	for _, e := range Extras() {
 		if e.Name == name {
 			return e, true
 		}

@@ -67,9 +67,14 @@ const (
 // Directory tracks, per fragment, the set of locations holding the current
 // version. Bytes with no fragment are "homeless" — their first producer or
 // initializer establishes residence.
+//
+// Fragments live in a sharded interval map (memspace.FragMap) shared with
+// the depgraph: splits cost O(log n + shardMax) instead of the O(n)
+// memmove of a flat sorted slice, and every iteration below visits
+// fragments in ascending address order, so transfer plans and holder
+// orders replay bit-identically.
 type Directory struct {
-	// entries is sorted by address and pairwise disjoint.
-	entries []*dirEntry
+	frags *memspace.FragMap[dirData]
 
 	// home, when set, is the location whose holdership makes a region
 	// durable (the master host in the cluster runtime). While the home
@@ -78,93 +83,74 @@ type Directory struct {
 	// re-execution recipe if all replicas die with their nodes.
 	home    memspace.Location
 	homeSet bool
+
+	// covbuf is the reusable fragment buffer of Produced (one runtime
+	// image drives its directory serially, so a single buffer suffices).
+	covbuf []*memspace.Frag[dirData]
 }
 
-type dirEntry struct {
-	region  memspace.Region
-	version int
-	holders map[memspace.Location]bool
-	// producers is the chain of tasks that produced the versions since
-	// home last held this fragment, oldest first. Empty while home holds it.
+// holderSet is the holder set of one fragment: a slice kept sorted in
+// locLess order. Fragments typically have one to four holders, where a
+// sorted slice beats a map on every operation, allocates nothing in
+// steady state (Produced reuses the backing array), and iterates in the
+// deterministic order for free.
+type holderSet []memspace.Location
+
+func (h holderSet) has(l memspace.Location) bool {
+	for _, x := range h {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// add inserts l in sorted position; duplicate adds are no-ops.
+func (h *holderSet) add(l memspace.Location) {
+	i := 0
+	for i < len(*h) && locLess((*h)[i], l) {
+		i++
+	}
+	if i < len(*h) && (*h)[i] == l {
+		return
+	}
+	*h = slices.Insert(*h, i, l)
+}
+
+// remove deletes l if present.
+func (h *holderSet) remove(l memspace.Location) {
+	for i, x := range *h {
+		if x == l {
+			*h = slices.Delete(*h, i, i+1)
+			return
+		}
+	}
+}
+
+// only resets the set to the single holder l, reusing the backing array.
+func (h *holderSet) only(l memspace.Location) {
+	*h = append((*h)[:0], l)
+}
+
+// dirData is the per-fragment payload: version, holder set and producer
+// chain (the tasks that produced the versions since home last held this
+// fragment, oldest first; empty while home holds it).
+type dirData struct {
+	version   int
+	holders   holderSet
 	producers []*task.Task
 }
 
-// NewDirectory returns an empty directory.
+// cloneDirData is the FragMap split hook: both halves keep the version,
+// with the holder set and producer chain copied.
+func cloneDirData(v dirData) dirData {
+	return dirData{version: v.version, holders: slices.Clone(v.holders), producers: slices.Clone(v.producers)}
+}
+
+// NewDirectory returns an empty directory. The FragMap gap payload (zero
+// dirData: no holders, version 0) is exactly an unknown fragment.
 func NewDirectory() *Directory {
-	return &Directory{}
-}
-
-// searchEntry returns the index of the first fragment ending past addr.
-func (d *Directory) searchEntry(addr uint64) int {
-	return sort.Search(len(d.entries), func(i int) bool { return d.entries[i].region.End() > addr })
-}
-
-// overlappingEntries returns the fragments overlapping r, in address order.
-func (d *Directory) overlappingEntries(r memspace.Region) []*dirEntry {
-	var out []*dirEntry
-	for i := d.searchEntry(r.Addr); i < len(d.entries) && d.entries[i].region.Addr < r.End(); i++ {
-		out = append(out, d.entries[i])
-	}
-	return out
-}
-
-// splitEntryAt splits the fragment strictly containing addr into two
-// fragments meeting at addr, cloning holders and producer chain and
-// keeping the version. No-op on a fragment boundary.
-func (d *Directory) splitEntryAt(addr uint64) {
-	i := d.searchEntry(addr)
-	if i >= len(d.entries) {
-		return
-	}
-	en := d.entries[i]
-	if en.region.Addr >= addr {
-		return
-	}
-	end := en.region.End()
-	holders := make(map[memspace.Location]bool, len(en.holders))
-	for _, l := range detmap.KeysFunc(en.holders, locLess) {
-		holders[l] = true
-	}
-	left := &dirEntry{
-		region:    memspace.Region{Addr: en.region.Addr, Size: addr - en.region.Addr},
-		version:   en.version,
-		holders:   holders,
-		producers: slices.Clone(en.producers),
-	}
-	en.region = memspace.Region{Addr: addr, Size: end - addr}
-	d.entries = slices.Insert(d.entries, i, left)
-}
-
-// cover returns the fragments exactly tiling r, in address order, creating
-// fresh empty fragments for uncovered gaps. An exact-match program gets a
-// single fragment equal to r.
-func (d *Directory) cover(r memspace.Region) []*dirEntry {
-	d.splitEntryAt(r.Addr)
-	d.splitEntryAt(r.End())
-	var out []*dirEntry
-	pos := r.Addr
-	i := d.searchEntry(r.Addr)
-	for pos < r.End() {
-		if i < len(d.entries) && d.entries[i].region.Addr == pos {
-			out = append(out, d.entries[i])
-			pos = d.entries[i].region.End()
-			i++
-			continue
-		}
-		gapEnd := r.End()
-		if i < len(d.entries) && d.entries[i].region.Addr < gapEnd {
-			gapEnd = d.entries[i].region.Addr
-		}
-		en := &dirEntry{
-			region:  memspace.Region{Addr: pos, Size: gapEnd - pos},
-			holders: make(map[memspace.Location]bool),
-		}
-		d.entries = slices.Insert(d.entries, i, en)
-		out = append(out, en)
-		pos = gapEnd
-		i++
-	}
-	return out
+	return &Directory{frags: memspace.NewFragMap(cloneDirData, nil)}
 }
 
 // TrackProducers declares home the durable location and starts logging,
@@ -183,8 +169,8 @@ func (d *Directory) RecordProducer(r memspace.Region, t *task.Task) {
 	if !d.homeSet {
 		return
 	}
-	for _, en := range d.cover(r) {
-		en.producers = append(en.producers, t)
+	for _, en := range d.frags.Cover(r) {
+		en.V.producers = append(en.V.producers, t)
 	}
 }
 
@@ -194,8 +180,8 @@ func (d *Directory) RecordProducer(r memspace.Region, t *task.Task) {
 func (d *Directory) Producers(r memspace.Region) []*task.Task {
 	var out []*task.Task
 	seen := make(map[task.ID]bool)
-	for _, en := range d.overlappingEntries(r) {
-		for _, t := range en.producers {
+	for _, en := range d.frags.Overlapping(r) {
+		for _, t := range en.V.producers {
 			if !seen[t.ID] {
 				seen[t.ID] = true
 				out = append(out, t)
@@ -208,10 +194,10 @@ func (d *Directory) Producers(r memspace.Region) []*task.Task {
 // Init declares that loc holds the initial version of r (e.g. the master
 // host after serial initialization).
 func (d *Directory) Init(r memspace.Region, loc memspace.Location) {
-	for _, en := range d.cover(r) {
-		en.holders[loc] = true
+	for _, en := range d.frags.Cover(r) {
+		en.V.holders.add(loc)
 		if d.homeSet && loc == d.home {
-			en.producers = nil
+			en.V.producers = nil
 		}
 	}
 }
@@ -219,12 +205,12 @@ func (d *Directory) Init(r memspace.Region, loc memspace.Location) {
 // Produced registers a new version of r produced at loc: loc becomes the
 // sole holder of every fragment of r and their versions advance.
 func (d *Directory) Produced(r memspace.Region, loc memspace.Location) {
-	for _, en := range d.cover(r) {
-		en.version++
-		clear(en.holders)
-		en.holders[loc] = true
+	d.covbuf = d.frags.CoverInto(r, d.covbuf)
+	for _, en := range d.covbuf {
+		en.V.version++
+		en.V.holders.only(loc)
 		if d.homeSet && loc == d.home {
-			en.producers = nil
+			en.V.producers = nil
 		}
 	}
 }
@@ -233,17 +219,17 @@ func (d *Directory) Produced(r memspace.Region, loc memspace.Location) {
 // Only already-known fragments gain the holder; if no byte of r is known
 // the call is an internal invariant violation and panics.
 func (d *Directory) AddHolder(r memspace.Region, loc memspace.Location) {
-	d.splitEntryAt(r.Addr)
-	d.splitEntryAt(r.End())
+	d.frags.SplitAt(r.Addr)
+	d.frags.SplitAt(r.End())
 	known := false
-	for _, en := range d.overlappingEntries(r) {
-		if len(en.holders) == 0 {
+	for _, en := range d.frags.Overlapping(r) {
+		if len(en.V.holders) == 0 {
 			continue
 		}
 		known = true
-		en.holders[loc] = true
+		en.V.holders.add(loc)
 		if d.homeSet && loc == d.home {
-			en.producers = nil
+			en.V.producers = nil
 		}
 	}
 	if !known {
@@ -256,16 +242,17 @@ func (d *Directory) AddHolder(r memspace.Region, loc memspace.Location) {
 // the node — ordered by address for deterministic recovery.
 func (d *Directory) PurgeNode(node int) []memspace.Region {
 	var lost []memspace.Region
-	for _, en := range d.entries {
-		changed := false
-		for _, l := range detmap.KeysFunc(en.holders, locLess) {
-			if l.Node == node {
-				delete(en.holders, l)
-				changed = true
+	for _, en := range d.frags.All() {
+		kept := en.V.holders[:0]
+		for _, l := range en.V.holders {
+			if l.Node != node {
+				kept = append(kept, l)
 			}
 		}
-		if changed && len(en.holders) == 0 {
-			lost = append(lost, en.region)
+		changed := len(kept) != len(en.V.holders)
+		en.V.holders = kept
+		if changed && len(en.V.holders) == 0 {
+			lost = append(lost, en.R)
 		}
 	}
 	return lost
@@ -279,10 +266,9 @@ func (d *Directory) Rehome(r memspace.Region) {
 	if !d.homeSet {
 		panic("coherence: Rehome without TrackProducers")
 	}
-	for _, en := range d.cover(r) {
-		clear(en.holders)
-		en.holders[d.home] = true
-		en.producers = nil
+	for _, en := range d.frags.Cover(r) {
+		en.V.holders.only(d.home)
+		en.V.producers = nil
 	}
 }
 
@@ -290,16 +276,16 @@ func (d *Directory) Rehome(r memspace.Region) {
 // where loc is not a holder are skipped; dropping the last holder of a
 // fragment panics: the current version must live somewhere.
 func (d *Directory) DropHolder(r memspace.Region, loc memspace.Location) {
-	d.splitEntryAt(r.Addr)
-	d.splitEntryAt(r.End())
-	for _, en := range d.overlappingEntries(r) {
-		if !en.holders[loc] {
+	d.frags.SplitAt(r.Addr)
+	d.frags.SplitAt(r.End())
+	for _, en := range d.frags.Overlapping(r) {
+		if !en.V.holders.has(loc) {
 			continue
 		}
-		if len(en.holders) == 1 {
-			panic(fmt.Sprintf("coherence: dropping last holder %v of %v", loc, en.region))
+		if len(en.V.holders) == 1 {
+			panic(fmt.Sprintf("coherence: dropping last holder %v of %v", loc, en.R))
 		}
-		delete(en.holders, loc)
+		en.V.holders.remove(loc)
 	}
 }
 
@@ -307,11 +293,11 @@ func (d *Directory) DropHolder(r memspace.Region, loc memspace.Location) {
 // of r.
 func (d *Directory) IsHolder(r memspace.Region, loc memspace.Location) bool {
 	pos := r.Addr
-	for _, en := range d.overlappingEntries(r) {
-		if en.region.Addr > pos || !en.holders[loc] {
+	for _, en := range d.frags.Overlapping(r) {
+		if en.R.Addr > pos || !en.V.holders.has(loc) {
 			return false
 		}
-		pos = en.region.End()
+		pos = en.R.End()
 	}
 	return pos >= r.End()
 }
@@ -319,8 +305,8 @@ func (d *Directory) IsHolder(r memspace.Region, loc memspace.Location) bool {
 // Known reports whether the directory has residence information for any
 // byte of r.
 func (d *Directory) Known(r memspace.Region) bool {
-	for _, en := range d.overlappingEntries(r) {
-		if len(en.holders) > 0 {
+	for _, en := range d.frags.Overlapping(r) {
+		if len(en.V.holders) > 0 {
 			return true
 		}
 	}
@@ -333,23 +319,23 @@ func (d *Directory) Known(r memspace.Region) bool {
 // either nothing or r itself back. Read-only: no fragments split.
 func (d *Directory) Missing(r memspace.Region, loc memspace.Location) []memspace.Region {
 	var out []memspace.Region
-	for _, en := range d.overlappingEntries(r) {
-		if len(en.holders) == 0 || en.holders[loc] {
+	for _, en := range d.frags.Overlapping(r) {
+		if len(en.V.holders) == 0 || en.V.holders.has(loc) {
 			continue
 		}
-		out = append(out, en.region.Intersect(r))
+		out = append(out, en.R.Intersect(r))
 	}
 	return out
 }
 
 // Held returns the subranges of r that loc holds, one per underlying
 // fragment, in address order. Under exact-match regions this is [] or [r].
-// / Read-only: no fragments split.
+// Read-only: no fragments split.
 func (d *Directory) Held(r memspace.Region, loc memspace.Location) []memspace.Region {
 	var out []memspace.Region
-	for _, en := range d.overlappingEntries(r) {
-		if en.holders[loc] {
-			out = append(out, en.region.Intersect(r))
+	for _, en := range d.frags.Overlapping(r) {
+		if en.V.holders.has(loc) {
+			out = append(out, en.R.Intersect(r))
 		}
 	}
 	return out
@@ -359,9 +345,9 @@ func (d *Directory) Held(r memspace.Region, loc memspace.Location) []memspace.Re
 // affinity scoring.
 func (d *Directory) HeldBytes(r memspace.Region, loc memspace.Location) uint64 {
 	var n uint64
-	for _, en := range d.overlappingEntries(r) {
-		if en.holders[loc] {
-			n += en.region.Intersect(r).Size
+	for _, en := range d.frags.Overlapping(r) {
+		if en.V.holders.has(loc) {
+			n += en.R.Intersect(r).Size
 		}
 	}
 	return n
@@ -371,9 +357,9 @@ func (d *Directory) HeldBytes(r memspace.Region, loc memspace.Location) uint64 {
 // (0 if never produced).
 func (d *Directory) Version(r memspace.Region) int {
 	v := 0
-	for _, en := range d.overlappingEntries(r) {
-		if en.version > v {
-			v = en.version
+	for _, en := range d.frags.Overlapping(r) {
+		if en.V.version > v {
+			v = en.V.version
 		}
 	}
 	return v
@@ -383,12 +369,12 @@ func (d *Directory) Version(r memspace.Region) int {
 // of r, in a deterministic order (node, then device). Queried per fragment
 // by the transfer planner, where it is exact.
 func (d *Directory) Holders(r memspace.Region) []memspace.Location {
-	ens := d.overlappingEntries(r)
+	ens := d.frags.Overlapping(r)
 	if len(ens) == 0 {
 		return nil
 	}
 	var out []memspace.Location
-	for _, l := range detmap.KeysFunc(ens[0].holders, locLess) {
+	for _, l := range ens[0].V.holders {
 		if d.IsHolder(r, l) {
 			out = append(out, l)
 		}
@@ -398,12 +384,16 @@ func (d *Directory) Holders(r memspace.Region) []memspace.Location {
 
 // Regions returns all fragments the directory knows, ordered by address.
 func (d *Directory) Regions() []memspace.Region {
-	out := make([]memspace.Region, 0, len(d.entries))
-	for _, en := range d.entries {
-		out = append(out, en.region)
+	all := d.frags.All()
+	out := make([]memspace.Region, 0, len(all))
+	for _, en := range all {
+		out = append(out, en.R)
 	}
 	return out
 }
+
+// Fragments returns the current fragment count (observability and tests).
+func (d *Directory) Fragments() int { return d.frags.Len() }
 
 // Line is one cached region.
 type Line struct {

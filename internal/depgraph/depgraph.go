@@ -10,6 +10,12 @@
 // never partially overlap keeps one fragment per region and builds the
 // exact same arcs, in the same order, as the exact-match model.
 //
+// The fragment index is a sharded interval map (memspace.FragMap), so a
+// split costs O(log n + shardMax) instead of the O(n) memmove a single
+// sorted slice paid — the difference between 10^4 and 10^6 task graphs.
+// SubmitBatch additionally pre-splits fragments at every region bound of
+// a batch in one pass per shard before wiring arcs task by task.
+//
 // One Graph instance covers one dynamic extent (the children of one parent
 // task); this is what makes the hierarchical, distributable implementation
 // possible.
@@ -18,44 +24,95 @@ package depgraph
 import (
 	"fmt"
 	"slices"
-	"sort"
 
 	"github.com/bsc-repro/ompss/internal/memspace"
 	"github.com/bsc-repro/ompss/internal/task"
 )
+
+// succSetThreshold is the successor count at which a node switches from a
+// linear duplicate scan to a map. Most nodes have 0–2 successors; the map
+// allocation (and its hashing) is pure overhead there, so it is built
+// lazily only for high-fanout nodes.
+const succSetThreshold = 8
 
 type node struct {
 	t          *task.Task
 	waitCount  int
 	done       bool
 	successors []*node
-	succSet    map[task.ID]bool
+	// succSet mirrors successors for O(1) duplicate checks; nil until the
+	// node accumulates succSetThreshold successors.
+	succSet map[task.ID]bool
 }
 
-// fragState holds the conflict bookkeeping for one fragment of the
-// address space. Fragments are disjoint and sorted by address; they split
-// when a region boundary lands strictly inside one.
-type fragState struct {
-	r          memspace.Region
+// hasSuccessor reports whether succ is already wired after this node.
+func (n *node) hasSuccessor(succ *node) bool {
+	if n.succSet != nil {
+		return n.succSet[succ.t.ID]
+	}
+	for _, s := range n.successors {
+		if s == succ {
+			return true
+		}
+	}
+	return false
+}
+
+// addSuccessor records succ, promoting the duplicate check to a map once
+// the fanout crosses succSetThreshold.
+func (n *node) addSuccessor(succ *node) {
+	n.successors = append(n.successors, succ)
+	if n.succSet != nil {
+		n.succSet[succ.t.ID] = true
+		return
+	}
+	if len(n.successors) >= succSetThreshold {
+		n.succSet = make(map[task.ID]bool, 2*len(n.successors))
+		for _, s := range n.successors {
+			n.succSet[s.t.ID] = true
+		}
+	}
+}
+
+// fragData holds the conflict bookkeeping for one fragment of the address
+// space: the last writer, the readers since that write, and any pending
+// commuting reductions (with the exact region they were declared on —
+// reductions only commute over identical regions).
+type fragData struct {
 	lastWriter *node
-	// readers since the last write; cleared when a new writer arrives.
-	readers []*node
-	// reducers since the last write: reduction tasks commute with each
-	// other but order against readers and writers. redRegion is the exact
-	// region those pending reductions were declared on — reductions only
-	// commute over identical regions.
-	reducers  []*node
-	redRegion memspace.Region
+	readers    []*node
+	reducers   []*node
+	redRegion  memspace.Region
 }
 
-// Graph is the dependency DAG for one dynamic extent.
+// cloneFragData is the FragMap split hook: both halves of a split fragment
+// carry the same conflict history, with the reader/reducer slices copied
+// so later appends on one half don't leak into the other.
+func cloneFragData(v fragData) fragData {
+	return fragData{
+		lastWriter: v.lastWriter,
+		readers:    slices.Clone(v.readers),
+		reducers:   slices.Clone(v.reducers),
+		redRegion:  v.redRegion,
+	}
+}
+
+// Graph is the dependency DAG for one dynamic extent. Per-task nodes live
+// in the tasks' DepNode slots rather than a map: at a million tasks the
+// three map operations per task (insert, lookup, delete) were a measurable
+// share of submission cost.
 type Graph struct {
 	onReady func(*task.Task)
-	nodes   map[task.ID]*node
-	frags   []*fragState // sorted by address, pairwise disjoint
+	frags   *memspace.FragMap[fragData]
 
 	submitted int
 	finished  int
+
+	// covbuf is the reusable fragment buffer of the submit hot path (one
+	// Graph is serial, so a single buffer suffices); slab bulk-allocates
+	// nodes so million-task graphs don't pay one small allocation per task.
+	covbuf []*memspace.Frag[fragData]
+	slab   []node
 
 	// OnArc, when non-nil, observes every arc actually created (after
 	// dedup and finished-pred filtering), in creation order. The runtime
@@ -69,8 +126,22 @@ type Graph struct {
 func New(onReady func(*task.Task)) *Graph {
 	return &Graph{
 		onReady: onReady,
-		nodes:   make(map[task.ID]*node),
+		frags:   memspace.NewFragMap(cloneFragData, nil),
 	}
+}
+
+// Fragments returns the current fragment count (observability and tests).
+func (g *Graph) Fragments() int { return g.frags.Len() }
+
+// newNode hands out nodes from a bulk-allocated slab.
+func (g *Graph) newNode(t *task.Task) *node {
+	if len(g.slab) == 0 {
+		g.slab = make([]node, 256)
+	}
+	n := &g.slab[0]
+	g.slab = g.slab[1:]
+	n.t = t
+	return n
 }
 
 // Normalize validates and canonicalizes the dependence clauses of one
@@ -117,86 +188,16 @@ func Normalize(deps []task.Dep) ([]task.Dep, error) {
 	return out, nil
 }
 
-// searchFrag returns the index of the first fragment ending past addr.
-func (g *Graph) searchFrag(addr uint64) int {
-	return sort.Search(len(g.frags), func(i int) bool { return g.frags[i].r.End() > addr })
-}
-
-// overlapping returns the existing fragments overlapping r, in address
-// order, without modifying the fragment map.
-func (g *Graph) overlapping(r memspace.Region) []*fragState {
-	var out []*fragState
-	for i := g.searchFrag(r.Addr); i < len(g.frags) && g.frags[i].r.Addr < r.End(); i++ {
-		out = append(out, g.frags[i])
-	}
-	return out
-}
-
-// splitAt splits the fragment strictly containing addr into two fragments
-// meeting at addr, cloning its bookkeeping. No-op when addr falls on a
-// fragment boundary or outside every fragment.
-func (g *Graph) splitAt(addr uint64) {
-	i := g.searchFrag(addr)
-	if i >= len(g.frags) {
-		return
-	}
-	f := g.frags[i]
-	if f.r.Addr >= addr {
-		return
-	}
-	end := f.r.End()
-	left := &fragState{
-		r:          memspace.Region{Addr: f.r.Addr, Size: addr - f.r.Addr},
-		lastWriter: f.lastWriter,
-		readers:    slices.Clone(f.readers),
-		reducers:   slices.Clone(f.reducers),
-		redRegion:  f.redRegion,
-	}
-	f.r = memspace.Region{Addr: addr, Size: end - addr}
-	g.frags = slices.Insert(g.frags, i, left)
-}
-
-// cover returns the fragments exactly tiling r, in address order, splitting
-// existing fragments at r's bounds and creating fresh fragments for
-// uncovered gaps. A region that never partially overlaps another maps to a
-// single fragment equal to itself.
-func (g *Graph) cover(r memspace.Region) []*fragState {
-	g.splitAt(r.Addr)
-	g.splitAt(r.End())
-	var out []*fragState
-	pos := r.Addr
-	i := g.searchFrag(r.Addr)
-	for pos < r.End() {
-		if i < len(g.frags) && g.frags[i].r.Addr == pos {
-			out = append(out, g.frags[i])
-			pos = g.frags[i].r.End()
-			i++
-			continue
-		}
-		gapEnd := r.End()
-		if i < len(g.frags) && g.frags[i].r.Addr < gapEnd {
-			gapEnd = g.frags[i].r.Addr
-		}
-		nf := &fragState{r: memspace.Region{Addr: pos, Size: gapEnd - pos}}
-		g.frags = slices.Insert(g.frags, i, nf)
-		out = append(out, nf)
-		pos = gapEnd
-		i++
-	}
-	return out
-}
-
 // addArc makes succ wait for pred unless pred already finished or the arc
 // exists.
 func (g *Graph) addArc(pred, succ *node) {
 	if pred == nil || pred.done || pred == succ {
 		return
 	}
-	if pred.succSet[succ.t.ID] {
+	if pred.hasSuccessor(succ) {
 		return
 	}
-	pred.succSet[succ.t.ID] = true
-	pred.successors = append(pred.successors, succ)
+	pred.addSuccessor(succ)
 	succ.waitCount++
 	if g.OnArc != nil {
 		g.OnArc(pred.t.ID, succ.t.ID)
@@ -210,12 +211,57 @@ func (g *Graph) addArc(pred, succ *node) {
 // duplicate submission of a task ID is an internal invariant violation and
 // still panics.
 func (g *Graph) Submit(t *task.Task) error {
-	if _, dup := g.nodes[t.ID]; dup {
-		panic(fmt.Sprintf("depgraph: duplicate submit of %v", t))
-	}
 	deps, err := Normalize(t.Deps)
 	if err != nil {
 		return fmt.Errorf("%v: %w", t, err)
+	}
+	return g.submitNormalized(t, deps)
+}
+
+// SubmitBatch adds the tasks in order, equivalent to calling Submit on
+// each in turn — same arcs, same arc order, same onReady firing points —
+// but amortizing the fragment work: every region bound in the batch is
+// collected, sorted once, and split in a single pass per shard before any
+// arcs are wired. Pre-splitting is semantically invisible (split halves
+// clone their conflict bookkeeping), so the per-task pass then covers
+// already-final fragments.
+//
+// Returns the number of tasks fully submitted. On error, tasks[0:accepted]
+// are in the graph (their onReady may have fired) and the rest are
+// untouched; the error names the first failing task.
+func (g *Graph) SubmitBatch(ts []*task.Task) (accepted int, err error) {
+	normalized := make([][]task.Dep, len(ts))
+	var bounds []uint64
+	for i, t := range ts {
+		deps, nerr := Normalize(t.Deps)
+		if nerr != nil {
+			// The batch stops at the malformed task; earlier tasks are
+			// still well-formed and must be submitted (identical to the
+			// sequential outcome), so keep their bounds.
+			normalized = normalized[:i]
+			ts = ts[:i]
+			err = fmt.Errorf("%v: %w", t, nerr)
+			break
+		}
+		normalized[i] = deps
+		for _, d := range deps {
+			bounds = append(bounds, d.Region.Addr, d.Region.End())
+		}
+	}
+	slices.Sort(bounds)
+	g.frags.SplitBounds(bounds)
+	for i, t := range ts {
+		if serr := g.submitNormalized(t, normalized[i]); serr != nil {
+			return i, serr
+		}
+	}
+	return len(ts), err
+}
+
+// submitNormalized wires one task whose clauses already passed Normalize.
+func (g *Graph) submitNormalized(t *task.Task, deps []task.Dep) error {
+	if t.DepNode != nil {
+		panic(fmt.Sprintf("depgraph: duplicate submit of %v", t))
 	}
 	// Cross-task guard, checked before any mutation: bytes under a pending
 	// reduction may only be accessed by another reduction over the exact
@@ -224,55 +270,57 @@ func (g *Graph) Submit(t *task.Task) error {
 		if d.Access != task.Red {
 			continue
 		}
-		for _, f := range g.overlapping(d.Region) {
-			if len(f.reducers) > 0 && f.redRegion != d.Region {
-				return fmt.Errorf("depgraph: %v: reduction over %v partially overlaps pending reduction over %v", t, d.Region, f.redRegion)
+		for _, f := range g.frags.Overlapping(d.Region) {
+			if len(f.V.reducers) > 0 && f.V.redRegion != d.Region {
+				return fmt.Errorf("depgraph: %v: reduction over %v partially overlaps pending reduction over %v", t, d.Region, f.V.redRegion)
 			}
 		}
 	}
-	n := &node{t: t, succSet: make(map[task.ID]bool)}
-	g.nodes[t.ID] = n
+	n := g.newNode(t)
+	t.DepNode = n
 	g.submitted++
 	for _, d := range deps {
-		for _, f := range g.cover(d.Region) {
+		g.covbuf = g.frags.CoverInto(d.Region, g.covbuf)
+		for _, f := range g.covbuf {
+			fs := &f.V
 			if d.Access == task.Red {
 				// Reductions wait for the previous writer and any readers
 				// of the old value, but not for each other.
-				g.addArc(f.lastWriter, n)
-				for _, rd := range f.readers {
+				g.addArc(fs.lastWriter, n)
+				for _, rd := range fs.readers {
 					g.addArc(rd, n)
 				}
-				f.reducers = append(f.reducers, n)
-				f.redRegion = d.Region
-				f.readers = nil
+				fs.reducers = append(fs.reducers, n)
+				fs.redRegion = d.Region
+				fs.readers = nil
 				continue
 			}
 			if d.Access.Reads() {
-				g.addArc(f.lastWriter, n) // read-after-write
-				for _, rx := range f.reducers {
+				g.addArc(fs.lastWriter, n) // read-after-write
+				for _, rx := range fs.reducers {
 					g.addArc(rx, n) // read-after-reduction: combine must be possible
 				}
 			}
 			if d.Access.Writes() {
-				g.addArc(f.lastWriter, n) // write-after-write
-				for _, rd := range f.readers {
+				g.addArc(fs.lastWriter, n) // write-after-write
+				for _, rd := range fs.readers {
 					g.addArc(rd, n) // write-after-read
 				}
-				for _, rx := range f.reducers {
+				for _, rx := range fs.reducers {
 					g.addArc(rx, n) // write-after-reduction
 				}
 			}
 			// Update fragment bookkeeping after arcs are in place.
 			if d.Access.Writes() {
-				f.lastWriter = n
-				f.readers = nil
-				f.reducers = nil
-				f.redRegion = memspace.Region{}
+				fs.lastWriter = n
+				fs.readers = nil
+				fs.reducers = nil
+				fs.redRegion = memspace.Region{}
 			}
 			if d.Access == task.In {
-				f.readers = append(f.readers, n)
-				f.reducers = nil
-				f.redRegion = memspace.Region{}
+				fs.readers = append(fs.readers, n)
+				fs.reducers = nil
+				fs.redRegion = memspace.Region{}
 			}
 		}
 	}
@@ -285,7 +333,7 @@ func (g *Graph) Submit(t *task.Task) error {
 // Finished marks t complete and releases successors whose last pending
 // predecessor it was; each release fires onReady in arc-creation order.
 func (g *Graph) Finished(t *task.Task) {
-	n, ok := g.nodes[t.ID]
+	n, ok := t.DepNode.(*node)
 	if !ok {
 		panic(fmt.Sprintf("depgraph: Finished for unknown %v", t))
 	}
@@ -301,14 +349,15 @@ func (g *Graph) Finished(t *task.Task) {
 		}
 	}
 	n.successors = nil
-	delete(g.nodes, t.ID)
+	n.succSet = nil
+	t.DepNode = nil
 }
 
 // Successors returns the tasks currently waiting on t, in arc order. Used
 // by the "dependencies" scheduling policy to run a successor of a just-
 // finished task. Returns nil for unknown tasks.
 func (g *Graph) Successors(t *task.Task) []*task.Task {
-	n, ok := g.nodes[t.ID]
+	n, ok := t.DepNode.(*node)
 	if !ok {
 		return nil
 	}
@@ -326,9 +375,9 @@ func (g *Graph) Pending() int { return g.submitted - g.finished }
 // current version of r, or nil when every byte of r is settled. Used by
 // taskwait-on, which loops until no writer remains.
 func (g *Graph) LastWriter(r memspace.Region) *task.Task {
-	for _, f := range g.overlapping(r) {
-		if f.lastWriter != nil && !f.lastWriter.done {
-			return f.lastWriter.t
+	for _, f := range g.frags.Overlapping(r) {
+		if f.V.lastWriter != nil && !f.V.lastWriter.done {
+			return f.V.lastWriter.t
 		}
 	}
 	return nil

@@ -1,0 +1,276 @@
+package memspace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// flatRef is the seed's single-sorted-slice fragment index, kept as the
+// behavioral reference for the sharded FragMap: every operation must
+// produce the same fragments in the same order.
+type flatRef struct {
+	regions []Region
+	vals    []int
+}
+
+func (f *flatRef) search(addr uint64) int {
+	for i, r := range f.regions {
+		if r.End() > addr {
+			return i
+		}
+	}
+	return len(f.regions)
+}
+
+func (f *flatRef) splitAt(addr uint64) {
+	i := f.search(addr)
+	if i == len(f.regions) || f.regions[i].Addr >= addr {
+		return
+	}
+	r := f.regions[i]
+	f.regions = append(f.regions[:i], append([]Region{{Addr: r.Addr, Size: addr - r.Addr}, {Addr: addr, Size: r.End() - addr}}, f.regions[i+1:]...)...)
+	f.vals = append(f.vals[:i], append([]int{f.vals[i]}, f.vals[i:]...)...)
+}
+
+func (f *flatRef) cover(r Region, fresh int) []int {
+	f.splitAt(r.Addr)
+	f.splitAt(r.End())
+	var out []int
+	pos := r.Addr
+	for pos < r.End() {
+		i := f.search(pos)
+		if i < len(f.regions) && f.regions[i].Addr == pos {
+			out = append(out, f.vals[i])
+			pos = f.regions[i].End()
+			continue
+		}
+		gapEnd := r.End()
+		if i < len(f.regions) && f.regions[i].Addr < gapEnd {
+			gapEnd = f.regions[i].Addr
+		}
+		f.regions = append(f.regions[:i], append([]Region{{Addr: pos, Size: gapEnd - pos}}, f.regions[i:]...)...)
+		f.vals = append(f.vals[:i], append([]int{fresh}, f.vals[i:]...)...)
+		out = append(out, fresh)
+		pos = gapEnd
+	}
+	return out
+}
+
+func checkAgainstRef(t *testing.T, m *FragMap[int], ref *flatRef) {
+	t.Helper()
+	all := m.All()
+	if len(all) != len(ref.regions) {
+		t.Fatalf("fragment count: map %d, ref %d", len(all), len(ref.regions))
+	}
+	if m.Len() != len(all) {
+		t.Fatalf("Len %d != len(All) %d", m.Len(), len(all))
+	}
+	prevEnd := uint64(0)
+	for i, f := range all {
+		if f.R != ref.regions[i] {
+			t.Fatalf("fragment %d: map %v, ref %v", i, f.R, ref.regions[i])
+		}
+		if f.V != ref.vals[i] {
+			t.Fatalf("fragment %d (%v): payload %d, ref %d", i, f.R, f.V, ref.vals[i])
+		}
+		if f.R.Addr < prevEnd {
+			t.Fatalf("fragment %d (%v) overlaps predecessor ending at %#x", i, f.R, prevEnd)
+		}
+		prevEnd = f.R.End()
+	}
+}
+
+// TestFragMapMatchesFlatReference drives random cover/split sequences
+// through the sharded map and the seed's flat reference and demands
+// identical fragments, payloads and visit order — the determinism
+// contract the depgraph and directory replays rest on.
+func TestFragMapMatchesFlatReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		m := NewFragMap[int](nil, nil)
+		ref := &flatRef{}
+		next := 1
+		for op := 0; op < 400; op++ {
+			addr := uint64(rng.Intn(1 << 14))
+			size := uint64(1 + rng.Intn(200))
+			switch rng.Intn(3) {
+			case 0:
+				m.SplitAt(addr)
+				ref.splitAt(addr)
+			case 1:
+				r := Region{Addr: addr, Size: size}
+				fresh := next
+				got := m.Cover(r)
+				want := ref.cover(r, fresh)
+				if len(got) != len(want) {
+					t.Fatalf("trial %d op %d: Cover(%v) returned %d fragments, ref %d", trial, op, r, len(got), len(want))
+				}
+				covered := uint64(0)
+				for i, f := range got {
+					if f.V == 0 { // fresh gap fragment: assign the id the ref used
+						f.V = fresh
+					}
+					if f.V != want[i] {
+						t.Fatalf("trial %d op %d: Cover(%v)[%d] payload %d, ref %d", trial, op, r, i, f.V, want[i])
+					}
+					covered += f.R.Size
+				}
+				if covered != r.Size {
+					t.Fatalf("Cover(%v) tiles %d bytes", r, covered)
+				}
+				next++
+			case 2:
+				r := Region{Addr: addr, Size: size}
+				got := m.Overlapping(r)
+				n := 0
+				for i, rr := range ref.regions {
+					if rr.Overlaps(r) {
+						if got[n].R != rr || got[n].V != ref.vals[i] {
+							t.Fatalf("Overlapping(%v)[%d] = %v/%d, ref %v/%d", r, n, got[n].R, got[n].V, rr, ref.vals[i])
+						}
+						n++
+					}
+				}
+				if n != len(got) {
+					t.Fatalf("Overlapping(%v) returned %d fragments, ref %d", r, len(got), n)
+				}
+			}
+			checkAgainstRef(t, m, ref)
+		}
+	}
+}
+
+// TestFragMapSplitBoundsMatchesSequential checks the batched single-sweep
+// splitter against one SplitAt per bound, including bounds on exact
+// fragment edges, in gaps, before the first and past the last fragment.
+func TestFragMapSplitBoundsMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		batched := NewFragMap[int](nil, nil)
+		seq := NewFragMap[int](nil, nil)
+		// Seed both with identical random fragments (with gaps).
+		pos := uint64(64)
+		id := 1
+		for i := 0; i < 50+rng.Intn(900); i++ {
+			if rng.Intn(3) == 0 {
+				pos += uint64(rng.Intn(100)) // gap
+			}
+			size := uint64(1 + rng.Intn(64))
+			r := Region{Addr: pos, Size: size}
+			for _, f := range batched.Cover(r) {
+				f.V = id
+			}
+			for _, f := range seq.Cover(r) {
+				f.V = id
+			}
+			pos += size
+			id++
+		}
+		var bounds []uint64
+		for i := 0; i < 200; i++ {
+			bounds = append(bounds, uint64(rng.Intn(int(pos)+200)))
+		}
+		// Include exact fragment edges explicitly.
+		for _, f := range batched.All()[:10] {
+			bounds = append(bounds, f.R.Addr, f.R.End())
+		}
+		sortUint64(bounds)
+		batched.SplitBounds(bounds)
+		for _, b := range bounds {
+			seq.SplitAt(b)
+		}
+		ba, sa := batched.All(), seq.All()
+		if len(ba) != len(sa) {
+			t.Fatalf("trial %d: batched %d fragments, sequential %d", trial, len(ba), len(sa))
+		}
+		for i := range ba {
+			if ba[i].R != sa[i].R || ba[i].V != sa[i].V {
+				t.Fatalf("trial %d fragment %d: batched %v/%d, sequential %v/%d",
+					trial, i, ba[i].R, ba[i].V, sa[i].R, sa[i].V)
+			}
+		}
+	}
+}
+
+func sortUint64(s []uint64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// TestFragMapShardGrowth builds fragments in a strided (non-monotonic)
+// order and checks the index stays sorted, disjoint and bounded per shard.
+func TestFragMapShardGrowth(t *testing.T) {
+	m := NewFragMap[int](nil, nil)
+	const n = 20000
+	step := 7919 // coprime with n
+	for k := 0; k < n; k++ {
+		i := (k * step) % n
+		r := Region{Addr: uint64(i) * 64, Size: 64}
+		frags := m.Cover(r)
+		if len(frags) != 1 || frags[0].R != r {
+			t.Fatalf("Cover(%v) = %v", r, frags)
+		}
+		frags[0].V = i
+	}
+	if m.Len() != n {
+		t.Fatalf("Len = %d, want %d", m.Len(), n)
+	}
+	if m.Shards() < n/shardMax {
+		t.Fatalf("only %d shards for %d fragments", m.Shards(), n)
+	}
+	all := m.All()
+	for i, f := range all {
+		want := Region{Addr: uint64(i) * 64, Size: 64}
+		if f.R != want || f.V != i {
+			t.Fatalf("fragment %d = %v/%d, want %v/%d", i, f.R, f.V, want, i)
+		}
+	}
+	// Overlapping a middle slice sees exactly the covered fragments.
+	got := m.Overlapping(Region{Addr: 64 * 1000, Size: 64 * 5})
+	if len(got) != 5 || got[0].V != 1000 || got[4].V != 1004 {
+		t.Fatalf("Overlapping middle slice = %d frags (first %v)", len(got), got[0].R)
+	}
+}
+
+// TestFragMapCloneAndFresh checks split payload cloning and gap payloads.
+func TestFragMapCloneAndFresh(t *testing.T) {
+	type payload struct{ marks []int }
+	clones, gaps := 0, 0
+	m := NewFragMap(
+		func(v payload) payload { clones++; return payload{marks: append([]int(nil), v.marks...)} },
+		func() payload { gaps++; return payload{marks: []int{-1}} },
+	)
+	whole := m.Cover(Region{Addr: 100, Size: 100})
+	if len(whole) != 1 || gaps != 1 {
+		t.Fatalf("initial cover: %d frags, %d gap payloads", len(whole), gaps)
+	}
+	whole[0].V.marks = append(whole[0].V.marks, 7)
+	m.SplitAt(150)
+	if clones != 1 {
+		t.Fatalf("clones = %d after split", clones)
+	}
+	all := m.All()
+	if len(all) != 2 {
+		t.Fatalf("fragments after split: %d", len(all))
+	}
+	left, right := all[0], all[1]
+	if left.R != (Region{Addr: 100, Size: 50}) || right.R != (Region{Addr: 150, Size: 50}) {
+		t.Fatalf("split regions %v / %v", left.R, right.R)
+	}
+	// The clone is independent: mutating one side must not leak.
+	left.V.marks = append(left.V.marks, 8)
+	if len(right.V.marks) != 2 || right.V.marks[1] != 7 {
+		t.Fatalf("right payload corrupted: %v", right.V.marks)
+	}
+	// Splitting on a boundary or outside is a no-op.
+	m.SplitAt(150)
+	m.SplitAt(100)
+	m.SplitAt(200)
+	m.SplitAt(5000)
+	if m.Len() != 2 || clones != 1 {
+		t.Fatalf("boundary splits mutated the map: len %d clones %d", m.Len(), clones)
+	}
+}

@@ -1,0 +1,94 @@
+package sched
+
+import (
+	"github.com/bsc-repro/ompss/internal/metrics"
+	"github.com/bsc-repro/ompss/internal/task"
+)
+
+// LookaheadHooks observes the lookahead window through registry
+// instruments. Nil instruments no-op, so the zero value is valid.
+type LookaheadHooks struct {
+	// Depth tracks the number of ready-ahead tasks currently claimed into
+	// per-place windows; its high-water mark is the deepest lookahead the
+	// run reached.
+	Depth *metrics.Gauge
+	// Refills counts window refill operations (batched pops from the
+	// wrapped scheduler).
+	Refills *metrics.Counter
+}
+
+// LookaheadSched wraps a Scheduler with a bounded per-place window of
+// ready-ahead tasks: when a place's window is empty, one refill claims up
+// to window tasks from the wrapped scheduler in a single batch, and
+// subsequent pops serve the window in FIFO order without touching the
+// shared pool. Dispatch therefore keeps a device fed from its own window
+// while the graph (and the shared queues) are still being built, at the
+// cost of early binding: a claimed task can no longer migrate to another
+// place, which can change schedules — the runtime keeps lookahead opt-in
+// (Config.Lookahead, default off) so default schedules stay bit-identical.
+type LookaheadSched struct {
+	inner    Scheduler
+	window   int
+	buf      map[int][]*task.Task
+	buffered int
+	hooks    LookaheadHooks
+}
+
+// Lookahead wraps inner with a per-place ready-ahead window of the given
+// size. window <= 1 returns inner unchanged (a one-deep window is just a
+// pop).
+func Lookahead(inner Scheduler, window int, h LookaheadHooks) Scheduler {
+	if window <= 1 {
+		return inner
+	}
+	return &LookaheadSched{inner: inner, window: window, buf: make(map[int][]*task.Task), hooks: h}
+}
+
+// Submit forwards to the wrapped scheduler; submissions never bypass the
+// policy's own placement.
+func (s *LookaheadSched) Submit(t *task.Task, releasedBy int) {
+	s.inner.Submit(t, releasedBy)
+}
+
+// Pop serves the place's window, refilling it from the wrapped scheduler
+// when empty.
+func (s *LookaheadSched) Pop(place int) *task.Task {
+	q := s.buf[place]
+	if len(q) == 0 {
+		for len(q) < s.window {
+			t := s.inner.Pop(place)
+			if t == nil {
+				break
+			}
+			q = append(q, t)
+		}
+		if len(q) == 0 {
+			return nil
+		}
+		s.hooks.Refills.Inc()
+		s.buffered += len(q)
+		s.hooks.Depth.Add(int64(len(q)))
+	}
+	t := q[0]
+	s.buf[place] = q[1:]
+	s.buffered--
+	s.hooks.Depth.Add(-1)
+	return t
+}
+
+// Drain returns the place's windowed tasks plus whatever the wrapped
+// scheduler had queued for it.
+func (s *LookaheadSched) Drain(place int) []*task.Task {
+	out := append([]*task.Task(nil), s.buf[place]...)
+	delete(s.buf, place)
+	s.buffered -= len(out)
+	s.hooks.Depth.Add(-int64(len(out)))
+	return append(out, s.inner.Drain(place)...)
+}
+
+// Len counts windowed tasks plus the wrapped scheduler's queue.
+func (s *LookaheadSched) Len() int { return s.buffered + s.inner.Len() }
+
+// Buffered returns the number of ready-ahead tasks currently claimed into
+// windows (observability: the Perfetto lookahead-depth row samples it).
+func (s *LookaheadSched) Buffered() int { return s.buffered }

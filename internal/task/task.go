@@ -129,6 +129,13 @@ type Task struct {
 	// (core.LocalCtx) for submitting and awaiting nested tasks; the parent
 	// task completes only after the nested tasks drain.
 	Spawner func(interface{})
+
+	// DepNode is an opaque slot owned by the dependency graph: the task's
+	// graph node, stored on the task itself (set at submit, cleared at
+	// finish) so the million-task hot path pays no graph-side map lookup
+	// per task. A task belongs to at most one graph at a time (its
+	// parent's extent).
+	DepNode any
 }
 
 // Copies returns the effective copy clause list: ExtraCopies plus, when

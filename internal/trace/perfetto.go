@@ -242,6 +242,12 @@ func (r *Recorder) WritePerfetto(w io.Writer) error {
 		emit(fmt.Sprintf("{\"ph\":\"X\",\"name\":%s,\"cat\":%s,\"pid\":%d,\"tid\":%d,\"ts\":%s,\"dur\":%s%s}",
 			jsonEscape(s.Name), jsonEscape(s.Kind.String()), s.Node, perfettoTID(s), usec(s.Start), usec(s.Dur()), args))
 	}
+	// Counter tracks ("C" events): one row per counter name per node,
+	// samples in time order.
+	for _, c := range r.Counters() {
+		emit(fmt.Sprintf("{\"ph\":\"C\",\"name\":%s,\"pid\":%d,\"ts\":%s,\"args\":{\"value\":%d}}",
+			jsonEscape(c.Name), c.Node, usec(c.At), c.Value))
+	}
 	// Flow arrows: producer task -> transfer -> consumer task.
 	for _, f := range deriveFlows(spans) {
 		for _, st := range f.steps {

@@ -105,11 +105,22 @@ type DepEdge struct {
 	Pred, Succ int64
 }
 
+// CounterSample is one sampled value of a named per-node counter track
+// (scheduler queue depth, lookahead window depth). Perfetto renders each
+// distinct name as its own counter row.
+type CounterSample struct {
+	Name  string
+	Node  int
+	At    sim.Time
+	Value int64
+}
+
 // Recorder accumulates spans. A nil *Recorder is valid and records
 // nothing, so instrumentation sites need no guards.
 type Recorder struct {
-	spans []Span
-	edges []DepEdge
+	spans    []Span
+	edges    []DepEdge
+	counters []CounterSample
 }
 
 // New returns an empty recorder.
@@ -215,6 +226,27 @@ func (r *Recorder) Edges() []DepEdge {
 		}
 	}
 	return dedup
+}
+
+// Count records one counter sample. No-op on a nil recorder, so hot
+// dispatch paths need no guards when tracing is off.
+func (r *Recorder) Count(name string, node int, at sim.Time, value int64) {
+	if r == nil {
+		return
+	}
+	r.counters = append(r.counters, CounterSample{Name: name, Node: node, At: at, Value: value})
+}
+
+// Counters returns all counter samples sorted by time (stable on ties, so
+// equal-time samples keep their recording order).
+func (r *Recorder) Counters() []CounterSample {
+	if r == nil {
+		return nil
+	}
+	out := make([]CounterSample, len(r.counters))
+	copy(out, r.counters)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
 }
 
 // Spans returns all spans sorted by start time (stable on ties).

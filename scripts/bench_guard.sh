@@ -32,13 +32,21 @@ trap 'rm -f "$BIN" "$WT"' EXIT
 go build -o "$BIN" ./cmd/ompss-bench
 
 # json_num FIELD FILE: extract a (possibly negative/fractional) number.
+# A missing field is a hard error naming the field — an empty string used
+# to flow silently into the awk comparisons and vacuously pass the gate.
 json_num() {
-    sed -n "s/.*\"$1\": *\\(-\\{0,1\\}[0-9][0-9.]*\\).*/\\1/p" "$2"
+    v=$(sed -n "s/.*\"$1\": *\\(-\\{0,1\\}[0-9][0-9.]*\\).*/\\1/p" "$2")
+    if [ -z "$v" ]; then
+        echo "bench-guard: field \"$1\" missing from $2; re-record with 'make baseline'" >&2
+        exit 1
+    fi
+    echo "$v"
 }
 
 BASE_MS=$(json_num serial_ms "$BASE")
 BUDGET_PCT=$(json_num armed_overhead_budget_pct "$BASE")
-if [ -z "$BASE_MS" ] || [ "$BASE_MS" -le 0 ]; then
+BASE_TPS=$(json_num stress_quick_tasks_per_sec "$BASE")
+if [ "$BASE_MS" -le 0 ]; then
     echo "bench-guard: $BASE has no usable serial_ms" >&2
     exit 1
 fi
@@ -70,6 +78,28 @@ else
         :
     else
         echo "bench-guard: FAIL: armed overhead ${ARMED_PCT}% exceeds budget ${BUDGET_PCT}%" >&2
+        STATUS=1
+    fi
+fi
+
+# Submission throughput gate: rerun the quick stress grid and compare the
+# batch-submission tasks/sec row to the recorded baseline, same +/- band.
+# A drop is a hot-path regression; a jump past the band usually means the
+# stress workload silently shrank — both fail (re-record deliberately).
+STRESS_OUT=$("$BIN" -experiment stress -quick)
+NOW_TPS=$(echo "$STRESS_OUT" | awk '/ov=0 submit=batch/ && !/lookahead/ {print $(NF-1)}')
+if [ -z "$NOW_TPS" ]; then
+    echo "bench-guard: FAIL: stress run reported no 'ov=0 submit=batch' row" >&2
+    STATUS=1
+else
+    TPS_DELTA_PCT=$(awk -v now="$NOW_TPS" -v base="$BASE_TPS" \
+        'BEGIN { printf "%.1f", (now - base) / base * 100 }')
+    echo "bench-guard: stress $NOW_TPS tasks/s vs baseline $BASE_TPS (${TPS_DELTA_PCT}%, tolerance +/-${TOL_PCT}%)"
+    if awk -v d="$TPS_DELTA_PCT" -v tol="$TOL_PCT" \
+        'BEGIN { exit (d <= tol && d >= -tol) ? 0 : 1 }'; then
+        :
+    else
+        echo "bench-guard: FAIL: submission throughput outside the +/-${TOL_PCT}% band" >&2
         STATUS=1
     fi
 fi

@@ -24,6 +24,11 @@ json_int() {
 }
 
 CORES=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+if [ "$CORES" -le 1 ]; then
+    echo "perf-baseline: WARNING: single-core host; parallel_ms measures the" >&2
+    echo "perf-baseline: harness overhead, not a speedup — read serial_ms and" >&2
+    echo "perf-baseline: stress_quick_tasks_per_sec, ignore the parallel row" >&2
+fi
 
 "$BIN" -experiment all -quick -parallel 1 -walltime "$WT" >/dev/null
 SERIAL_MS=$(json_int ms "$WT")
@@ -41,6 +46,15 @@ RES_MS=$(json_int ms "$WT")
 ARMED_OVERHEAD_PCT=$(echo "$RES_OUT" | awk '/armed zero-fault overhead/ {print $(NF-1)}')
 [ -n "$ARMED_OVERHEAD_PCT" ] || ARMED_OVERHEAD_PCT=-1
 
+# Submission stress: host-side tasks/sec of the quick grid's batch row
+# (10^5 tasks, strided order). bench_guard.sh gates future runs on it.
+STRESS_OUT=$("$BIN" -experiment stress -quick)
+STRESS_TPS=$(echo "$STRESS_OUT" | awk '/ov=0 submit=batch/ && !/lookahead/ {print $(NF-1)}')
+if [ -z "$STRESS_TPS" ]; then
+    echo "perf-baseline: stress run reported no 'ov=0 submit=batch' row" >&2
+    exit 1
+fi
+
 cat > BENCH_harness.json <<EOF
 {
   "date": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
@@ -52,8 +66,9 @@ cat > BENCH_harness.json <<EOF
   "parallel_workers": $PARALLEL_WORKERS,
   "resilience_quick_ms": $RES_MS,
   "armed_zero_fault_overhead_pct": $ARMED_OVERHEAD_PCT,
-  "armed_overhead_budget_pct": 2.0
+  "armed_overhead_budget_pct": 2.0,
+  "stress_quick_tasks_per_sec": $STRESS_TPS
 }
 EOF
 
-echo "serial ${SERIAL_MS}ms, parallel(${PARALLEL_WORKERS} workers) ${PARALLEL_MS}ms, resilience ${RES_MS}ms (armed overhead ${ARMED_OVERHEAD_PCT}%) -> BENCH_harness.json"
+echo "serial ${SERIAL_MS}ms, parallel(${PARALLEL_WORKERS} workers) ${PARALLEL_MS}ms, resilience ${RES_MS}ms (armed overhead ${ARMED_OVERHEAD_PCT}%), stress ${STRESS_TPS} tasks/s -> BENCH_harness.json"
