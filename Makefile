@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet fmt build test lint race bench baseline resilience cover bench-guard stencil stress
+.PHONY: check vet fmt build test lint race bench baseline resilience cover bench-guard stencil stress serve loadtest serve-smoke
 
 ## check: gofmt + go vet + build + ompss-lint + full test suite (the tier-1 gate)
 check: fmt vet build lint test
@@ -24,10 +24,10 @@ test:
 lint:
 	$(GO) run ./cmd/ompss-lint ./...
 
-## race: race-detect the simulation kernel, the parallel harness, and the
-## concurrent runtime layers (core/gasnet/faults)
+## race: race-detect the simulation kernel, the parallel harness, the
+## concurrent runtime layers (core/gasnet/faults), and the serving layer
 race:
-	$(GO) test -race ./internal/sim/... ./internal/bench/... ./internal/core/... ./internal/gasnet/... ./internal/faults/...
+	$(GO) test -race ./internal/sim/... ./internal/bench/... ./internal/core/... ./internal/gasnet/... ./internal/faults/... ./internal/serve/...
 
 ## resilience: the fault-plan test matrix plus the quick resilience grid
 resilience:
@@ -53,6 +53,22 @@ baseline:
 ## job; wide tolerance)
 bench-guard:
 	sh scripts/bench_guard.sh
+
+## serve: run the resident experiment service on :8080 (POST /v1/experiments;
+## see EXPERIMENTS.md "Serving experiments")
+serve:
+	$(GO) run ./cmd/ompss-serve
+
+## loadtest: the canonical serve load test — 1000 concurrent clients against
+## a warm cache; fails below 99% hit rate (LOAD_CLIENTS/LOAD_REQUESTS/
+## LOAD_DISTINCT tune it)
+loadtest:
+	sh scripts/load_test.sh
+
+## serve-smoke: end-to-end smoke of the resident mode — boot, warm-hit
+## burst, byte-identical bodies, graceful SIGTERM drain (the CI job)
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 ## stencil: run the heat example (overlapping halo regions) on a simulated
 ## 2-node GPU cluster and verify the checksum against the serial version

@@ -14,13 +14,11 @@
 package main
 
 import (
-	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"strconv"
 	"time"
 
 	"github.com/bsc-repro/ompss/internal/bench"
@@ -177,8 +175,9 @@ func writeWalltime(path string, elapsed time.Duration, workers int) error {
 	return os.WriteFile(path, []byte(data), 0o644)
 }
 
-// writeCSV dumps rows as experiment,config,value,unit. The file close error
-// is propagated: a full disk must not silently truncate results.
+// writeCSV dumps rows via the shared bench.EncodeCSV encoder (the same
+// bytes ompss-serve memoizes). The file close error is propagated: a full
+// disk must not silently truncate results.
 func writeCSV(path string, rows []bench.Row) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
@@ -189,15 +188,5 @@ func writeCSV(path string, rows []bench.Row) (err error) {
 			err = cerr
 		}
 	}()
-	w := csv.NewWriter(f)
-	if err := w.Write([]string{"experiment", "config", "value", "unit"}); err != nil {
-		return err
-	}
-	for _, r := range rows {
-		if err := w.Write([]string{r.Experiment, r.Config, strconv.FormatFloat(r.Value, 'f', -1, 64), r.Unit}); err != nil {
-			return err
-		}
-	}
-	w.Flush()
-	return w.Error()
+	return bench.EncodeCSV(f, rows)
 }

@@ -117,6 +117,10 @@ var scopedPkgs = []string{
 	"internal/task",
 	"internal/metrics",
 	"internal/trace",
+	// The serving layer caches simulation results by content hash; a
+	// wall-clock read there can leak nondeterminism into cached bytes
+	// just as surely as one inside the simulator.
+	"internal/serve",
 }
 
 // InScope reports whether pkgPath is one of the determinism-scoped

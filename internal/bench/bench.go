@@ -13,6 +13,7 @@ import (
 
 	"github.com/bsc-repro/ompss"
 	"github.com/bsc-repro/ompss/internal/coherence"
+	"github.com/bsc-repro/ompss/internal/faults"
 	"github.com/bsc-repro/ompss/internal/sched"
 )
 
@@ -58,6 +59,46 @@ type Options struct {
 	StressWidth   int
 	StressDepth   int
 	StressOverlap int
+
+	// GridPoint restricts a grid experiment to the single point whose
+	// Config label matches exactly (e.g. "4gpu wb affinity"); the other
+	// points never run. Experiments that derive rows across points
+	// (resilience) run their full grid and are filtered by Execute
+	// instead. Empty runs everything.
+	GridPoint string
+
+	// OnPoint, when non-nil, is called once per completed grid point,
+	// success or failure. Calls are serialized by the harness but arrive
+	// in completion order, which under Parallel > 1 is not grid order;
+	// Index/Total locate the point in the grid. Experiments that bypass
+	// runGrid (table1, the derived resilience rows) emit no events.
+	OnPoint func(PointDone)
+
+	// Lookahead, when > 0, sets Config.Lookahead (the per-place
+	// ready-ahead window, PR 6) on every simulated grid point of the fig
+	// and heat experiments. Zero keeps the paper default (off), which is
+	// what the bit-identical fig5-13 guarantee is pinned against.
+	Lookahead int
+
+	// Scheduler, when non-empty, overrides the scheduler policy of the
+	// cluster experiments (fig9-13, heat), whose grids pin it to
+	// Affinity. The multi-GPU figures sweep the scheduler as part of
+	// their grid and ignore this; select a point with GridPoint instead.
+	Scheduler sched.Policy
+
+	// Faults, when non-nil, arms the resilience machinery with this plan
+	// on every cluster grid point (fig9-13, heat). The resilience
+	// experiment manages its own per-scenario plans and ignores it.
+	Faults *faults.Plan
+}
+
+// PointDone reports one completed grid point to Options.OnPoint.
+type PointDone struct {
+	Experiment string
+	Config     string
+	Index      int // position in the grid, 0-based
+	Total      int // grid size after GridPoint filtering
+	Err        error
 }
 
 // workers resolves Parallel to a concrete worker count.
@@ -150,14 +191,20 @@ func schedLabel(p sched.Policy) string {
 }
 
 // multiGPUConfig is the baseline configuration of the multi-GPU node runs.
-func multiGPUConfig(gpus int, policy coherence.Policy, scheduler sched.Policy) ompss.Config {
-	return ompss.Config{
+// The scheduler is part of these experiments' grids, so Options.Scheduler
+// does not apply here; Lookahead does.
+func multiGPUConfig(o Options, gpus int, policy coherence.Policy, scheduler sched.Policy) ompss.Config {
+	cfg := ompss.Config{
 		Cluster:          ompss.MultiGPUSystem(gpus),
 		Scheduler:        scheduler,
 		CachePolicy:      policy,
 		NonBlockingCache: true,
 		Steal:            true,
 	}
+	if o.Lookahead > 0 {
+		cfg.Lookahead = o.Lookahead
+	}
+	return cfg
 }
 
 // point is one independent grid point of an experiment: one simulated run
@@ -172,17 +219,35 @@ type point struct {
 // goroutines and assembles the rows in grid order, so the result is
 // bit-identical to a sequential run. On failure it returns the rows that
 // precede the first failing point (in grid order) and that point's error,
-// matching the sequential early-return behavior.
+// matching the sequential early-return behavior. A GridPoint filter keeps
+// only the matching point; no match runs nothing and returns no rows
+// (Execute turns that into an error naming the request).
 func runGrid(exp string, o Options, pts []point) ([]Row, error) {
+	if o.GridPoint != "" {
+		kept := make([]point, 0, 1)
+		for _, p := range pts {
+			if p.config == o.GridPoint {
+				kept = append(kept, p)
+			}
+		}
+		pts = kept
+	}
 	rows := make([]Row, len(pts))
 	errs := make([]error, len(pts))
+	var notifyMu sync.Mutex
 	runOne := func(i int) {
 		v, unit, err := pts[i].run()
 		if err != nil {
 			errs[i] = fmt.Errorf("%s %s: %w", exp, pts[i].config, err)
-			return
+		} else {
+			rows[i] = Row{Experiment: exp, Config: pts[i].config, Value: v, Unit: unit}
 		}
-		rows[i] = Row{Experiment: exp, Config: pts[i].config, Value: v, Unit: unit}
+		if o.OnPoint != nil {
+			notifyMu.Lock()
+			o.OnPoint(PointDone{Experiment: exp, Config: pts[i].config,
+				Index: i, Total: len(pts), Err: errs[i]})
+			notifyMu.Unlock()
+		}
 	}
 	if n := o.workers(); n > 1 && len(pts) > 1 {
 		if n > len(pts) {
@@ -221,13 +286,26 @@ func runGrid(exp string, o Options, pts []point) ([]Row, error) {
 
 // clusterConfig is the baseline configuration of the GPU-cluster runs,
 // using the best multi-GPU parameters (write-back cache, locality-aware
-// scheduler), as Section IV.B.2 does.
-func clusterConfig(nodes int) ompss.Config {
-	return ompss.Config{
+// scheduler), as Section IV.B.2 does. Options may override the scheduler
+// and lookahead window and arm a fault plan; zero Options reproduce the
+// paper configuration exactly.
+func clusterConfig(o Options, nodes int) ompss.Config {
+	cfg := ompss.Config{
 		Cluster:          ompss.GPUCluster(nodes),
 		Scheduler:        sched.Affinity,
 		CachePolicy:      coherence.WriteBack,
 		NonBlockingCache: true,
 		Steal:            true,
 	}
+	if o.Scheduler != "" {
+		cfg.Scheduler = o.Scheduler
+	}
+	if o.Lookahead > 0 {
+		cfg.Lookahead = o.Lookahead
+	}
+	if o.Faults != nil {
+		plan := *o.Faults
+		cfg.Faults = &plan
+	}
+	return cfg
 }

@@ -34,7 +34,7 @@ func Fig9(o Options) ([]Row, error) {
 			}
 			for _, init := range []apps.InitMode{apps.InitSeq, apps.InitSMP, apps.InitGPU} {
 				for _, presend := range []int{0, 1, 2} {
-					cfg := clusterConfig(nodes)
+					cfg := clusterConfig(o, nodes)
 					cfg.SlaveToSlave = stos
 					cfg.Presend = presend
 					pp := p
@@ -55,8 +55,8 @@ func Fig9(o Options) ([]Row, error) {
 
 // bestClusterMatmulConfig is the winning Figure 9 setup used in Figure 10:
 // slave-to-slave transfers, parallel SMP initialization, presend.
-func bestClusterMatmulConfig(nodes int) ompss.Config {
-	cfg := clusterConfig(nodes)
+func bestClusterMatmulConfig(o Options, nodes int) ompss.Config {
+	cfg := clusterConfig(o, nodes)
 	cfg.SlaveToSlave = true
 	cfg.Presend = 2
 	return cfg
@@ -68,7 +68,7 @@ func Fig10(o Options) ([]Row, error) {
 	p.Init = apps.InitSMP
 	var pts []point
 	for _, nodes := range nodeCounts {
-		cfg := bestClusterMatmulConfig(nodes)
+		cfg := bestClusterMatmulConfig(o, nodes)
 		if o.Trace != nil && nodes == nodeCounts[len(nodeCounts)-1] {
 			cfg.Trace = o.Trace
 		}
@@ -105,7 +105,7 @@ func Fig11(o Options) ([]Row, error) {
 	var pts []point
 	for _, nodes := range nodeCounts {
 		p := fig11Params(o, nodes)
-		cfg := clusterConfig(nodes)
+		cfg := clusterConfig(o, nodes)
 		cfg.SlaveToSlave = true
 		pts = append(pts, point{
 			config: fmt.Sprintf("%dnode ompss", nodes),
@@ -135,7 +135,7 @@ func Fig12(o Options) ([]Row, error) {
 				variant = "noflush"
 			}
 			p := fig7Params(o, flush)
-			cfg := clusterConfig(nodes)
+			cfg := clusterConfig(o, nodes)
 			cfg.SlaveToSlave = true
 			pts = append(pts, point{
 				config: fmt.Sprintf("%dnode %s ompss", nodes, variant),
@@ -174,7 +174,7 @@ func Fig13(o Options) ([]Row, error) {
 	var pts []point
 	for _, nodes := range nodeCounts {
 		p := fig13Params(o, nodes)
-		cfg := clusterConfig(nodes)
+		cfg := clusterConfig(o, nodes)
 		// The all-to-all pattern leaves no stable locality; the runtime's
 		// default (dependencies) scheduler distributes the force tasks by
 		// demand, which is the best setup for this application.

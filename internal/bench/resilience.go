@@ -25,8 +25,8 @@ func resilienceMatmulParams(o Options) apps.MatmulParams {
 // resilientConfig is the cluster configuration of the resilience runs: the
 // best fig9 setup plus validation (correctness is the plotted claim) and
 // the fault plan under test.
-func resilientConfig(nodes int, plan *faults.Plan) ompss.Config {
-	cfg := clusterConfig(nodes)
+func resilientConfig(o Options, nodes int, plan *faults.Plan) ompss.Config {
+	cfg := clusterConfig(o, nodes)
 	cfg.SlaveToSlave = true
 	cfg.Presend = 1
 	cfg.Validate = true
@@ -42,13 +42,19 @@ func resilientConfig(nodes int, plan *faults.Plan) ompss.Config {
 // the fault machinery did. This experiment has no counterpart in the paper
 // (its cluster layer assumes a perfect interconnect); see EXPERIMENTS.md.
 func Resilience(o Options) ([]Row, error) {
+	// The counter rows below are derived across scenarios, so the grid
+	// must always run in full (Execute post-filters by GridPoint), and
+	// each scenario owns its fault plan — a request-level override would
+	// silently invalidate the clean-vs-faulted comparison.
+	o.GridPoint = ""
+	o.Faults = nil
 	nodes := 8
 	p := resilienceMatmulParams(o)
 
 	// Clean baseline: subsystem disarmed (Config.Faults == nil). Its
 	// checksum is the ground truth every faulted run must reproduce, and
 	// its virtual elapsed time places the crash mid-computation.
-	clean, err := apps.MatmulOmpSs(resilientConfig(nodes, nil), p)
+	clean, err := apps.MatmulOmpSs(resilientConfig(o, nodes, nil), p)
 	if err != nil {
 		return nil, fmt.Errorf("resilience clean baseline: %w", err)
 	}
@@ -118,7 +124,7 @@ func Resilience(o Options) ([]Row, error) {
 		pts = append(pts, point{
 			config: sc.config,
 			run: func() (float64, string, error) {
-				res, err := apps.MatmulOmpSs(resilientConfig(nodes, sc.plan), p)
+				res, err := apps.MatmulOmpSs(resilientConfig(o, nodes, sc.plan), p)
 				if err != nil {
 					return 0, "", err
 				}
@@ -141,14 +147,14 @@ func Resilience(o Options) ([]Row, error) {
 	// this point is a correctness probe, not a throughput plot.
 	streamNodes := 4
 	streamP := fig11Params(Options{Quick: true}, streamNodes)
-	streamClean, err := apps.StreamOmpSs(resilientConfig(streamNodes, nil), streamP)
+	streamClean, err := apps.StreamOmpSs(resilientConfig(o, streamNodes, nil), streamP)
 	if err != nil {
 		return nil, fmt.Errorf("resilience stream baseline: %w", err)
 	}
 	pts = append(pts, point{
 		config: "4node stream drop1%",
 		run: func() (float64, string, error) {
-			res, err := apps.StreamOmpSs(resilientConfig(streamNodes, &faults.Plan{Seed: 21, DropRate: 0.01}), streamP)
+			res, err := apps.StreamOmpSs(resilientConfig(o, streamNodes, &faults.Plan{Seed: 21, DropRate: 0.01}), streamP)
 			if err != nil {
 				return 0, "", err
 			}

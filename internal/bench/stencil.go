@@ -25,7 +25,7 @@ func Heat(o Options) ([]Row, error) {
 	var pts []point
 	for _, nodes := range nodeCounts {
 		p := heatParams(o, nodes)
-		cfg := clusterConfig(nodes)
+		cfg := clusterConfig(o, nodes)
 		cfg.SlaveToSlave = true
 		cfg.Validate = true
 		pts = append(pts, point{

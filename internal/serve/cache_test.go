@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func mkRes(hash string, payload int) *Result {
+	return &Result{Hash: hash, Experiment: "x", CSV: make([]byte, payload)}
+}
+
+// TestCacheLRUEviction: the size bound evicts least-recently-used entries
+// first, and a get refreshes recency.
+func TestCacheLRUEviction(t *testing.T) {
+	// Each entry charges payload + 256 overhead; bound fits exactly 3.
+	c := newCache(3 * (1000 + 256))
+	for i := 0; i < 3; i++ {
+		if ev := c.put(mkRes(fmt.Sprintf("h%d", i), 1000)); ev != 0 {
+			t.Fatalf("premature eviction at %d", i)
+		}
+	}
+	// Touch h0 so h1 is now the LRU.
+	if _, ok := c.get("h0"); !ok {
+		t.Fatal("h0 missing")
+	}
+	if ev := c.put(mkRes("h3", 1000)); ev != 1 {
+		t.Fatalf("evicted %d entries, want 1", ev)
+	}
+	if _, ok := c.get("h1"); ok {
+		t.Fatal("h1 should have been evicted (LRU)")
+	}
+	for _, h := range []string{"h0", "h2", "h3"} {
+		if _, ok := c.get(h); !ok {
+			t.Fatalf("%s evicted unexpectedly", h)
+		}
+	}
+	entries, bytes := c.stats()
+	if entries != 3 || bytes != 3*(1000+256) {
+		t.Fatalf("stats = %d entries, %d bytes", entries, bytes)
+	}
+}
+
+// TestCacheOversizeRejected: an entry bigger than the whole cache is not
+// stored (it would evict everything and then be evicted itself).
+func TestCacheOversizeRejected(t *testing.T) {
+	c := newCache(1024)
+	c.put(mkRes("small", 100))
+	if ev := c.put(mkRes("huge", 10_000)); ev != 0 {
+		t.Fatalf("oversize put evicted %d", ev)
+	}
+	if _, ok := c.get("huge"); ok {
+		t.Fatal("oversize entry stored")
+	}
+	if _, ok := c.get("small"); !ok {
+		t.Fatal("oversize put destroyed existing entries")
+	}
+}
+
+// TestCacheReplaceRefreshes: re-putting a hash replaces the value and
+// adjusts accounting instead of double-counting.
+func TestCacheReplaceRefreshes(t *testing.T) {
+	c := newCache(1 << 20)
+	c.put(mkRes("h", 1000))
+	c.put(mkRes("h", 2000))
+	entries, bytes := c.stats()
+	if entries != 1 || bytes != 2000+256 {
+		t.Fatalf("stats after replace = %d entries, %d bytes", entries, bytes)
+	}
+	res, ok := c.get("h")
+	if !ok || len(res.CSV) != 2000 {
+		t.Fatalf("replacement value not served")
+	}
+}

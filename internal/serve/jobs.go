@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"strconv"
+	"sync"
+)
+
+// Job states.
+const (
+	JobQueued  = "queued"
+	JobRunning = "running"
+	JobDone    = "done"
+	JobError   = "error"
+)
+
+// Event is one progress notification of a job, in append order. Seq is
+// the event's index; ElapsedNS is server-edge wall time since the job was
+// admitted (progress metadata only — it never enters cached result
+// bytes).
+type Event struct {
+	Seq       int    `json:"seq"`
+	Kind      string `json:"kind"` // queued, start, point, done, error
+	Config    string `json:"config,omitempty"`
+	Index     int    `json:"index,omitempty"`
+	Total     int    `json:"total,omitempty"`
+	Error     string `json:"error,omitempty"`
+	ElapsedNS int64  `json:"elapsed_ns"`
+}
+
+// Job tracks one admitted computation: exactly one per distinct in-flight
+// config hash (coalesced requests share it). Subscribers replay the event
+// history and then follow live appends.
+type Job struct {
+	ID         string
+	Hash       string
+	Experiment string
+	req        Request // the validated request this job computes
+
+	mu      sync.Mutex
+	state   string
+	events  []Event
+	changed chan struct{} // closed and replaced on every append
+	res     *Result
+	errMsg  string
+	done    chan struct{} // closed once state is terminal
+}
+
+func newJob(id string, req Request, hash string) *Job {
+	return &Job{
+		ID:         id,
+		Hash:       hash,
+		Experiment: req.Experiment,
+		req:        req,
+		state:      JobQueued,
+		changed:    make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+}
+
+// append records ev (stamping Seq) and wakes subscribers.
+func (j *Job) append(ev Event) {
+	j.mu.Lock()
+	ev.Seq = len(j.events)
+	j.events = append(j.events, ev)
+	close(j.changed)
+	j.changed = make(chan struct{})
+	j.mu.Unlock()
+}
+
+// setRunning transitions queued -> running.
+func (j *Job) setRunning(elapsedNS int64) {
+	j.mu.Lock()
+	j.state = JobRunning
+	j.mu.Unlock()
+	j.append(Event{Kind: "start", ElapsedNS: elapsedNS})
+}
+
+// finish records the terminal state, result or error, and releases every
+// waiter. It must be called exactly once.
+func (j *Job) finish(res *Result, err error, elapsedNS int64) {
+	j.mu.Lock()
+	if err != nil {
+		j.state = JobError
+		j.errMsg = err.Error()
+	} else {
+		j.state = JobDone
+		j.res = res
+	}
+	j.mu.Unlock()
+	if err != nil {
+		j.append(Event{Kind: "error", Error: err.Error(), ElapsedNS: elapsedNS})
+	} else {
+		j.append(Event{Kind: "done", ElapsedNS: elapsedNS})
+	}
+	close(j.done)
+}
+
+// snapshot returns the current state, result and error message.
+func (j *Job) snapshot() (state string, res *Result, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.res, j.errMsg
+}
+
+// eventsFrom returns the events at index >= from plus a channel that is
+// closed on the next append — the subscription primitive SSE streaming
+// loops on.
+func (j *Job) eventsFrom(from int) ([]Event, <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var evs []Event
+	if from < len(j.events) {
+		evs = append(evs, j.events[from:]...)
+	}
+	return evs, j.changed
+}
+
+// terminal reports whether the job has finished (done or error).
+func (j *Job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state == JobDone || j.state == JobError
+}
+
+// jobRegistry is the bounded job table. Jobs are evicted oldest-first
+// once the bound is exceeded, but never while still running — a
+// subscriber must always be able to follow an admitted job to its end.
+type jobRegistry struct {
+	mu    sync.Mutex
+	max   int
+	next  int64
+	jobs  map[string]*Job
+	order []string // insertion order, for eviction
+}
+
+func newJobRegistry(max int) *jobRegistry {
+	return &jobRegistry{max: max, jobs: make(map[string]*Job)}
+}
+
+// create registers a new job for req/hash and returns it.
+func (r *jobRegistry) create(req Request, hash string) *Job {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.next++
+	j := newJob("j"+strconv.FormatInt(r.next, 10), req, hash)
+	r.jobs[j.ID] = j
+	r.order = append(r.order, j.ID)
+	for len(r.jobs) > r.max {
+		evicted := false
+		for i, id := range r.order {
+			if old := r.jobs[id]; old != nil && old.terminal() {
+				delete(r.jobs, id)
+				r.order = append(r.order[:i], r.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			break // everything is still running; allow temporary excess
+		}
+	}
+	return j
+}
+
+// remove deletes a job that was never admitted (overload rejection on
+// the submit path).
+func (r *jobRegistry) remove(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.jobs, id)
+	for i, oid := range r.order {
+		if oid == id {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// get looks a job up by id.
+func (r *jobRegistry) get(id string) (*Job, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.jobs[id]
+	return j, ok
+}
+
+// count returns the number of registered jobs.
+func (r *jobRegistry) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.jobs)
+}

@@ -1,0 +1,50 @@
+package serve
+
+import (
+	"testing"
+
+	"github.com/bsc-repro/ompss/internal/bench"
+)
+
+// TestRunLoadAgainstFakeExecutor runs the whole load driver end to end
+// against a server with a fake (instant, deterministic) executor: every
+// warm request must be a cache hit and nothing may error. This is the
+// in-process version of the CI smoke job.
+func TestRunLoadAgainstFakeExecutor(t *testing.T) {
+	s := startServer(t, Config{Workers: 4, Execute: func(req Request, onPoint func(bench.PointDone)) (*bench.ExecResult, error) {
+		return fakeResult(req.Experiment), nil
+	}})
+	rep, err := RunLoad(LoadOptions{BaseURL: s.URL(), Clients: 32, Requests: 4, Distinct: 6})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d", rep.Errors)
+	}
+	if rep.ColdRequests != 6 || rep.WarmRequests != 32*4 {
+		t.Fatalf("request counts = %d cold, %d warm", rep.ColdRequests, rep.WarmRequests)
+	}
+	if rep.HitRate < 0.99 {
+		t.Fatalf("warm hit rate = %f, want >= 0.99", rep.HitRate)
+	}
+	if rep.WarmRPS <= 0 {
+		t.Fatalf("warm rps = %f", rep.WarmRPS)
+	}
+}
+
+// TestDefaultLoadRequestsDistinct: the generated request set is valid and
+// pairwise distinct under the cache key.
+func TestDefaultLoadRequestsDistinct(t *testing.T) {
+	reqs := DefaultLoadRequests(16)
+	seen := make(map[string]bool)
+	for _, r := range reqs {
+		if err := r.Validate(); err != nil {
+			t.Fatalf("generated request invalid: %v", err)
+		}
+		h := r.Hash()
+		if seen[h] {
+			t.Fatalf("duplicate hash in generated set")
+		}
+		seen[h] = true
+	}
+}

@@ -104,5 +104,37 @@ else
     fi
 fi
 
+# Serving-layer gate: rerun the canonical load test (same shape the
+# baseline recorded) and compare warm-cache requests/sec, same +/- band.
+# The selftest itself fails on request errors or a warm hit rate below
+# 99%, so a broken cache cannot pass by being fast.
+BASE_RPS=$(json_num serve_warm_rps "$BASE")
+SERVE_BIN=$(mktemp /tmp/ompss-serve.XXXXXX)
+SERVE_OUT=$(mktemp /tmp/ompss-serve-out.XXXXXX)
+trap 'rm -f "$BIN" "$WT" "$SERVE_BIN" "$SERVE_OUT"' EXIT
+go build -o "$SERVE_BIN" ./cmd/ompss-serve
+if ! "$SERVE_BIN" -selftest > "$SERVE_OUT"; then
+    echo "bench-guard: FAIL: serve selftest failed (errors or hit rate < 99%)" >&2
+    cat "$SERVE_OUT" >&2
+    STATUS=1
+else
+    NOW_RPS=$(sed -n 's/.*"warm_rps": *\([0-9][0-9.]*\).*/\1/p' "$SERVE_OUT")
+    if [ -z "$NOW_RPS" ]; then
+        echo "bench-guard: FAIL: serve selftest reported no warm_rps" >&2
+        STATUS=1
+    else
+        RPS_DELTA_PCT=$(awk -v now="$NOW_RPS" -v base="$BASE_RPS" \
+            'BEGIN { printf "%.1f", (now - base) / base * 100 }')
+        echo "bench-guard: serve $NOW_RPS warm req/s vs baseline $BASE_RPS (${RPS_DELTA_PCT}%, tolerance +/-${TOL_PCT}%)"
+        if awk -v d="$RPS_DELTA_PCT" -v tol="$TOL_PCT" \
+            'BEGIN { exit (d <= tol && d >= -tol) ? 0 : 1 }'; then
+            :
+        else
+            echo "bench-guard: FAIL: warm-cache requests/sec outside the +/-${TOL_PCT}% band" >&2
+            STATUS=1
+        fi
+    fi
+fi
+
 [ "$STATUS" -eq 0 ] && echo "bench-guard: OK"
 exit $STATUS

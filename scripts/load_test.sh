@@ -1,0 +1,28 @@
+#!/bin/sh
+# load_test.sh — the canonical ompss-serve load test.
+#
+# Runs the built-in selftest driver: a private server on an ephemeral
+# port, a sequential cold pass seeding every distinct configuration, then
+# a concurrent warm burst (default 1000 clients x 5 requests over 8
+# distinct configs). Prints the JSON report (latency percentiles, warm
+# requests/sec, hit rate) and fails unless the burst completed without
+# errors at >= 99% warm cache hit rate.
+#
+# The report's methodology is documented in EXPERIMENTS.md ("Serving
+# experiments"); scripts/perf_baseline.sh records warm_rps from the same
+# driver into BENCH_harness.json and bench_guard.sh gates on it.
+#
+# Tune with LOAD_CLIENTS, LOAD_REQUESTS, LOAD_DISTINCT.
+#
+# Usage: sh scripts/load_test.sh
+set -e
+
+cd "$(dirname "$0")/.."
+BIN=$(mktemp /tmp/ompss-serve.XXXXXX)
+trap 'rm -f "$BIN"' EXIT
+
+go build -o "$BIN" ./cmd/ompss-serve
+exec "$BIN" -selftest \
+    -clients "${LOAD_CLIENTS:-1000}" \
+    -requests "${LOAD_REQUESTS:-5}" \
+    -distinct "${LOAD_DISTINCT:-8}"

@@ -14,7 +14,9 @@ set -e
 cd "$(dirname "$0")/.."
 BIN=$(mktemp /tmp/ompss-bench.XXXXXX)
 WT=$(mktemp /tmp/ompss-walltime.XXXXXX)
-trap 'rm -f "$BIN" "$WT"' EXIT
+SERVE_BIN=$(mktemp /tmp/ompss-serve.XXXXXX)
+SERVE_OUT=$(mktemp /tmp/ompss-serve-out.XXXXXX)
+trap 'rm -f "$BIN" "$WT" "$SERVE_BIN" "$SERVE_OUT"' EXIT
 
 go build -o "$BIN" ./cmd/ompss-bench
 
@@ -55,6 +57,19 @@ if [ -z "$STRESS_TPS" ]; then
     exit 1
 fi
 
+# Resident serving layer: the canonical load test (scripts/load_test.sh
+# defaults — 1000 clients x 5 requests over 8 distinct configs, warm
+# burst against a seeded cache). Records the warm-cache requests/sec;
+# bench_guard.sh gates future runs on it.
+go build -o "$SERVE_BIN" ./cmd/ompss-serve
+"$SERVE_BIN" -selftest > "$SERVE_OUT"
+SERVE_RPS=$(sed -n 's/.*"warm_rps": *\([0-9][0-9.]*\).*/\1/p' "$SERVE_OUT")
+SERVE_HIT=$(sed -n 's/.*"hit_rate": *\([0-9][0-9.]*\).*/\1/p' "$SERVE_OUT")
+if [ -z "$SERVE_RPS" ] || [ -z "$SERVE_HIT" ]; then
+    echo "perf-baseline: serve selftest reported no warm_rps/hit_rate" >&2
+    exit 1
+fi
+
 cat > BENCH_harness.json <<EOF
 {
   "date": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
@@ -67,8 +82,11 @@ cat > BENCH_harness.json <<EOF
   "resilience_quick_ms": $RES_MS,
   "armed_zero_fault_overhead_pct": $ARMED_OVERHEAD_PCT,
   "armed_overhead_budget_pct": 2.0,
-  "stress_quick_tasks_per_sec": $STRESS_TPS
+  "stress_quick_tasks_per_sec": $STRESS_TPS,
+  "serve_load": "1000 clients x 5 requests, 8 distinct configs",
+  "serve_warm_rps": $SERVE_RPS,
+  "serve_warm_hit_rate": $SERVE_HIT
 }
 EOF
 
-echo "serial ${SERIAL_MS}ms, parallel(${PARALLEL_WORKERS} workers) ${PARALLEL_MS}ms, resilience ${RES_MS}ms (armed overhead ${ARMED_OVERHEAD_PCT}%), stress ${STRESS_TPS} tasks/s -> BENCH_harness.json"
+echo "serial ${SERIAL_MS}ms, parallel(${PARALLEL_WORKERS} workers) ${PARALLEL_MS}ms, resilience ${RES_MS}ms (armed overhead ${ARMED_OVERHEAD_PCT}%), stress ${STRESS_TPS} tasks/s, serve ${SERVE_RPS} warm req/s (hit rate ${SERVE_HIT}) -> BENCH_harness.json"

@@ -1,0 +1,95 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke test of the resident serving mode.
+#
+# Boots a real ompss-serve process, waits for /healthz, submits the same
+# cheap experiment repeatedly, verifies the repeats were served from the
+# warm cache, then sends SIGTERM and requires a clean graceful drain
+# (exit 0). This is the CI serve-smoke job; the heavier concurrency
+# numbers come from scripts/load_test.sh.
+#
+# Strictly POSIX sh + curl. Usage: sh scripts/serve_smoke.sh
+set -e
+
+cd "$(dirname "$0")/.."
+BIN=$(mktemp /tmp/ompss-serve.XXXXXX)
+LOG=$(mktemp /tmp/ompss-serve-log.XXXXXX)
+BODY=$(mktemp /tmp/ompss-serve-body.XXXXXX)
+HDRS=$(mktemp /tmp/ompss-serve-hdrs.XXXXXX)
+trap 'rm -f "$BIN" "$LOG" "$BODY" "$HDRS"; kill "$PID" 2>/dev/null || true' EXIT
+
+ADDR=${SERVE_SMOKE_ADDR:-127.0.0.1:18080}
+URL="http://$ADDR"
+
+go build -o "$BIN" ./cmd/ompss-serve
+"$BIN" -addr "$ADDR" 2>"$LOG" &
+PID=$!
+
+i=0
+until curl -fsS "$URL/healthz" >/dev/null 2>&1; do
+    i=$((i+1))
+    if [ "$i" -ge 30 ]; then
+        echo "serve-smoke: FAIL: server never became healthy" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 1
+done
+
+# json_int FIELD FILE: extract an integer field from one-line JSON.
+json_int() {
+    sed -n "s/.*\"$1\":\\(-\\{0,1\\}[0-9][0-9]*\\).*/\\1/p" "$2"
+}
+
+# cache_state: POST the request, keep the body, and report the
+# X-Ompss-Cache header (hit/miss/coalesced).
+cache_state() {
+    curl -fsS -o "$BODY" -D "$HDRS" \
+        -H 'Content-Type: application/json' -d "$REQ" "$URL/v1/experiments"
+    tr -d '\r' < "$HDRS" | sed -n 's/^[Xx]-[Oo]mpss-[Cc]ache: *//p'
+}
+
+REQ='{"experiment":"table1","quick":true}'
+FIRST=$(cache_state)
+if [ "$FIRST" != "miss" ]; then
+    echo "serve-smoke: FAIL: first request was '$FIRST', want miss" >&2
+    exit 1
+fi
+COLD_SUM=$(cksum "$BODY")
+
+n=0
+while [ "$n" -lt 5 ]; do
+    n=$((n+1))
+    STATE=$(cache_state)
+    if [ "$STATE" != "hit" ]; then
+        echo "serve-smoke: FAIL: repeat $n was '$STATE', want hit" >&2
+        exit 1
+    fi
+    WARM_SUM=$(cksum "$BODY")
+    if [ "$WARM_SUM" != "$COLD_SUM" ]; then
+        echo "serve-smoke: FAIL: warm body differs from cold body" >&2
+        exit 1
+    fi
+done
+
+curl -fsS "$URL/v1/cache/stats" > "$BODY"
+HITS=$(json_int hits "$BODY")
+if [ -z "$HITS" ] || [ "$HITS" -lt 5 ]; then
+    echo "serve-smoke: FAIL: cache hits '$HITS' < 5" >&2
+    cat "$BODY" >&2
+    exit 1
+fi
+
+kill -TERM "$PID"
+if ! wait "$PID"; then
+    echo "serve-smoke: FAIL: server exited non-zero on SIGTERM" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+if ! grep -q "drained cleanly" "$LOG"; then
+    echo "serve-smoke: FAIL: no clean-drain message in log" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+PID=
+
+echo "serve-smoke: OK: cold miss + 5 byte-identical warm hits ($HITS total), clean drain"
