@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet fmt build test lint race bench baseline resilience cover bench-guard stencil stress serve loadtest serve-smoke
+.PHONY: check vet fmt build test lint lint-json race bench baseline resilience cover bench-guard stencil stress serve loadtest serve-smoke
 
 ## check: gofmt + go vet + build + ompss-lint + full test suite (the tier-1 gate)
 check: fmt vet build lint test
@@ -20,9 +20,16 @@ build:
 test:
 	$(GO) test ./...
 
-## lint: the determinism/concurrency analyzers (DESIGN.md §9); any finding fails the gate
+## lint: the determinism/concurrency/dependence analyzers (DESIGN.md §9);
+## any unsuppressed finding fails the gate
 lint:
 	$(GO) run ./cmd/ompss-lint ./...
+
+## lint-json: the same seven passes as machine-readable records in lint.json
+## (suppressed findings included — this is the CI lint-report artifact)
+lint-json:
+	$(GO) run ./cmd/ompss-lint -json ./... > lint.json || true
+	@echo "wrote lint.json"
 
 ## race: race-detect the simulation kernel, the parallel harness, the
 ## concurrent runtime layers (core/gasnet/faults), and the serving layer

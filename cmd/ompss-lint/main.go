@@ -1,17 +1,27 @@
 // ompss-lint runs the determinism and concurrency analyzers of
-// internal/analysis over the module and exits nonzero on any finding.
+// internal/analysis over the module and exits nonzero on any
+// unsuppressed finding.
 //
 // Usage:
 //
-//	ompss-lint [./...]
+//	ompss-lint [-json] [./...]
 //
-// The only accepted argument form is a module-root pattern: with no
+// The only accepted pattern is a module-root pattern: with no
 // arguments or with "./...", the module containing the current
 // directory is analyzed in full. Findings print as
-// file:line:col: analyzer: message, sorted by position.
+// file:line:col: analyzer: message, sorted by position; suppressed
+// findings (covered by a reasoned //ompss:<kind> directive) are
+// omitted from the human output but the gate still records them.
+//
+// With -json, the full finding set — suppressed records included, each
+// carrying its suppression kind and a "suppressed" flag — is emitted as
+// a stable sorted JSON array on stdout, for CI artifacts and tooling.
+// The exit status is 1 exactly when unsuppressed findings exist, in
+// both modes.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -27,7 +37,12 @@ func main() {
 }
 
 func run(args []string) error {
-	for _, a := range args {
+	fs := flag.NewFlagSet("ompss-lint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit all findings (suppressed included) as a JSON array")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	for _, a := range fs.Args() {
 		if a != "./..." {
 			return fmt.Errorf("unsupported argument %q (only ./... — the whole module — is supported)", a)
 		}
@@ -44,15 +59,27 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	for _, d := range diags {
-		pos := d.Pos
-		if rel, err := filepath.Rel(root, pos.Filename); err == nil {
-			pos.Filename = rel
+	rel := func(name string) string {
+		if r, err := filepath.Rel(root, name); err == nil {
+			return r
 		}
-		fmt.Printf("%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+		return name
 	}
-	if len(diags) > 0 {
-		fmt.Printf("ompss-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+	failing := analysis.Unsuppressed(diags)
+	if *jsonOut {
+		if err := analysis.EncodeJSON(os.Stdout, diags, rel); err != nil {
+			return err
+		}
+	} else {
+		for _, d := range failing {
+			fmt.Printf("%s:%d:%d: %s: %s\n", rel(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
+	}
+	if len(failing) > 0 {
+		if !*jsonOut {
+			fmt.Printf("ompss-lint: %d finding(s) (%d suppressed) in %d package(s)\n",
+				len(failing), len(diags)-len(failing), len(pkgs))
+		}
 		os.Exit(1)
 	}
 	return nil

@@ -24,11 +24,21 @@
 //     cannot detect at runtime.
 //   - tracepair: every trace span opened with Recorder.Begin is closed
 //     on all paths.
-//   - ompssdirective: every //ompss: suppression directive is known and
-//     carries a reason.
+//   - ompssdirective: every //ompss: suppression directive is known,
+//     backed by a registered analyzer, and carries a reason.
+//   - depverify (interprocedural): every region a task body reads or
+//     writes through store.Bytes is covered by a matching In/Out/InOut/
+//     Reduction clause at the submission site, and every declared clause
+//     is actually used by the body (an unused clause serializes tasks
+//     for nothing).
+//   - lockorder (interprocedural): sync.Mutex/RWMutex acquisitions form
+//     a consistent partial order — no AB/BA pairs, no cycles — across
+//     the module's static lock graph.
 //
 // Findings are suppressed per line with `//ompss:<kind> <reason>`; a
-// directive without a reason is itself a finding.
+// directive without a reason is itself a finding. Suppressed findings
+// are still recorded (Diagnostic.Suppressed) so machine consumers can
+// audit the escape hatch; only unsuppressed findings fail the gate.
 package analysis
 
 import (
@@ -40,7 +50,9 @@ import (
 	"strings"
 )
 
-// An Analyzer describes one static-analysis pass.
+// An Analyzer describes one static-analysis pass. Exactly one of Run
+// (per-package) and RunModule (whole-module, for interprocedural passes
+// whose facts cross package boundaries) is set.
 type Analyzer struct {
 	// Name identifies the pass in diagnostics and suppression docs.
 	Name string
@@ -48,6 +60,10 @@ type Analyzer struct {
 	Doc string
 	// Run applies the pass to one type-checked package.
 	Run func(*Pass) error
+	// RunModule applies the pass once to the whole package set. Used by
+	// the interprocedural passes (depverify, lockorder), whose function
+	// summaries must cross package boundaries.
+	RunModule func(*ModulePass) error
 }
 
 // A Diagnostic is one finding, positioned in the analyzed source.
@@ -55,10 +71,28 @@ type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Kind is the suppression-directive kind that can silence this
+	// finding ("" when the finding is not suppressible).
+	Kind string
+	// Suppressed marks a finding covered by a reasoned //ompss:<kind>
+	// directive. Suppressed findings are recorded for auditability (the
+	// -json output carries them) but do not fail the gate.
+	Suppressed bool
 }
 
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Unsuppressed filters diags down to the findings that fail the gate.
+func Unsuppressed(diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // A Pass connects an Analyzer to one package and collects its findings.
@@ -84,13 +118,30 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	})
 }
 
+// ReportSuppressible records a finding silenceable by kind. The finding
+// is always recorded; a covering reasoned directive only marks it
+// Suppressed, so the -json output can audit the escape hatch.
+func (p *Pass) ReportSuppressible(kind string, pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:        p.Fset.Position(pos),
+		Analyzer:   p.Analyzer.Name,
+		Message:    fmt.Sprintf(format, args...),
+		Kind:       kind,
+		Suppressed: p.Suppressed(kind, pos),
+	})
+}
+
 // Suppressed reports whether a `//ompss:<kind> <reason>` directive with a
 // nonempty reason covers pos: on the same line (trailing comment) or on
 // the line immediately above. Reasonless directives never suppress — they
 // are themselves findings (see the ompssdirective analyzer).
 func (p *Pass) Suppressed(kind string, pos token.Pos) bool {
-	position := p.Fset.Position(pos)
-	byLine := p.directives[position.Filename]
+	return suppressedIn(p.directives, p.Fset, kind, pos)
+}
+
+func suppressedIn(directives map[string]map[int][]Directive, fset *token.FileSet, kind string, pos token.Pos) bool {
+	position := fset.Position(pos)
+	byLine := directives[position.Filename]
 	for _, line := range []int{position.Line, position.Line - 1} {
 		for _, d := range byLine[line] {
 			if d.Kind == kind && d.Reason != "" {
@@ -99,6 +150,43 @@ func (p *Pass) Suppressed(kind string, pos token.Pos) bool {
 		}
 	}
 	return false
+}
+
+// A ModulePass connects a module-level Analyzer to the whole package set.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Pkgs are the analyzed packages, sorted by import path.
+	Pkgs []*Package
+
+	directives map[string]map[int][]Directive
+	diags      *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportSuppressible records a finding silenceable by kind (see
+// Pass.ReportSuppressible).
+func (p *ModulePass) ReportSuppressible(kind string, pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:        p.Fset.Position(pos),
+		Analyzer:   p.Analyzer.Name,
+		Message:    fmt.Sprintf(format, args...),
+		Kind:       kind,
+		Suppressed: p.Suppressed(kind, pos),
+	})
+}
+
+// Suppressed reports whether a reasoned directive of kind covers pos.
+func (p *ModulePass) Suppressed(kind string, pos token.Pos) bool {
+	return suppressedIn(p.directives, p.Fset, kind, pos)
 }
 
 // scopedPkgs are the runtime packages whose code feeds schedules, traces
@@ -156,32 +244,58 @@ func Analyzers() []*Analyzer {
 		SimBlocking,
 		TracePair,
 		OmpssDirective,
+		DepVerify,
+		LockOrder,
 	}
 }
 
-// RunAnalyzers applies every analyzer to every package and returns the
-// findings sorted by position, then analyzer name.
+// RunAnalyzers applies every analyzer to every package (per-package
+// analyzers run per package; module analyzers run once over the whole
+// set) and returns the findings sorted by position, then analyzer name.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	allDirs := make(map[string]map[int][]Directive)
 	for _, pkg := range pkgs {
-		dirs := make(map[string]map[int][]Directive)
 		for _, f := range pkg.Syntax {
 			name := pkg.Fset.Position(f.Pos()).Filename
-			dirs[name] = fileDirectives(pkg.Fset, f)
+			allDirs[name] = fileDirectives(pkg.Fset, f)
 		}
+	}
+	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer:   a,
 				Fset:       pkg.Fset,
 				Files:      pkg.Syntax,
 				Pkg:        pkg.Types,
 				TypesInfo:  pkg.TypesInfo,
-				directives: dirs,
+				directives: allDirs,
 				diags:      &diags,
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
 			}
+		}
+	}
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		if len(pkgs) == 0 {
+			continue
+		}
+		pass := &ModulePass{
+			Analyzer:   a,
+			Fset:       pkgs[0].Fset,
+			Pkgs:       pkgs,
+			directives: allDirs,
+			diags:      &diags,
+		}
+		if err := a.RunModule(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -195,7 +309,10 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 	return diags, nil
 }

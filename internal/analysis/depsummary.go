@@ -1,0 +1,1038 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file implements the interprocedural region-access summarizer
+// behind the depverify analyzer. For a Work implementation it answers:
+// which Region-typed fields does Run(store) materialize through
+// store.Bytes, and are the resulting byte slices read, written, or
+// both? The analysis is a flow-insensitive taint fixpoint: slices
+// originating from store.Bytes(k.F) are tainted with field F, taints
+// propagate through locals, reslices, unsafe view conversions,
+// containers of slices and helper calls (summarized bottom-up), and
+// element-level loads/stores on a tainted slice record read/write
+// access on the originating fields. Anything the walker cannot model —
+// a dynamic call receiving tracked data, a store handed to opaque code
+// — poisons the summary with an "unresolved" reason, which the checker
+// degrades to a suppressible cannot-verify finding rather than a
+// guess.
+
+// access is a read/write bitmask over one region field.
+type access uint8
+
+const (
+	accRead access = 1 << iota
+	accWrite
+)
+
+// rootset is a set of taint roots: field names for task-body summaries,
+// parameter keys for helper summaries.
+type rootset map[string]bool
+
+func union(a, b rootset) rootset {
+	if len(b) == 0 {
+		return a
+	}
+	if a == nil {
+		a = make(rootset, len(b))
+	}
+	for k := range b {
+		a[k] = true
+	}
+	return a
+}
+
+// workSummary is the region-access summary of one Work implementation.
+type workSummary struct {
+	// regionFields holds every Region / []Region field of the struct,
+	// accessed or not.
+	regionFields map[string]bool
+	// fields maps each region field to the access its Run body performs.
+	fields map[string]access
+	// unresolved lists the flows the walker could not model; a nonempty
+	// list invalidates the field map.
+	unresolved []string
+}
+
+// paramSummary describes one helper parameter (or receiver).
+type paramSummary struct {
+	acc         access
+	aliasResult bool
+}
+
+// funcSummary is the bottom-up summary of a helper function: per-taint-
+// carrying-parameter access and whether the parameter aliases into the
+// return value.
+type funcSummary struct {
+	recv       paramSummary
+	params     []paramSummary
+	variadic   bool
+	unresolved []string
+}
+
+func (s *funcSummary) paramAt(i int) paramSummary {
+	if i < len(s.params) {
+		return s.params[i]
+	}
+	if s.variadic && len(s.params) > 0 {
+		return s.params[len(s.params)-1]
+	}
+	return paramSummary{}
+}
+
+// depEngine memoizes work and helper summaries across one module pass.
+type depEngine struct {
+	ix     *moduleIndex
+	work   map[*types.Named]*workSummary
+	fns    map[*types.Func]*funcSummary
+	inWork map[*types.Named]bool
+	inFn   map[*types.Func]bool
+}
+
+func newDepEngine(ix *moduleIndex) *depEngine {
+	return &depEngine{
+		ix:     ix,
+		work:   make(map[*types.Named]*workSummary),
+		fns:    make(map[*types.Func]*funcSummary),
+		inWork: make(map[*types.Named]bool),
+		inFn:   make(map[*types.Func]bool),
+	}
+}
+
+// workSummary computes (memoized) the region-access summary of the
+// named Work type.
+func (eng *depEngine) workSummary(named *types.Named) *workSummary {
+	if s, ok := eng.work[named]; ok {
+		return s
+	}
+	if eng.inWork[named] {
+		return &workSummary{unresolved: []string{"recursive task body"}}
+	}
+	eng.inWork[named] = true
+	defer delete(eng.inWork, named)
+
+	s := &workSummary{
+		regionFields: make(map[string]bool),
+		fields:       make(map[string]access),
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		s.unresolved = append(s.unresolved, fmt.Sprintf("work type %s is not a struct", named.Obj().Name()))
+		eng.work[named] = s
+		return s
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if isRegionType(f.Type()) || isRegionSlice(f.Type()) {
+			s.regionFields[f.Name()] = true
+		}
+	}
+	runFn, ok := eng.ix.method(named, "Run")
+	if !ok {
+		s.unresolved = append(s.unresolved, fmt.Sprintf("work type %s has no Run method", named.Obj().Name()))
+		eng.work[named] = s
+		return s
+	}
+	fd, ok := eng.ix.lookup(runFn)
+	if !ok || fd.decl.Body == nil {
+		s.unresolved = append(s.unresolved, fmt.Sprintf("Run body of %s is outside the analyzed packages", named.Obj().Name()))
+		eng.work[named] = s
+		return s
+	}
+
+	env := newBodyEnv(eng, fd.pkg)
+	env.regionFields = s.regionFields
+	if recv := fd.decl.Recv; recv != nil && len(recv.List) > 0 && len(recv.List[0].Names) > 0 {
+		env.recvObj = fd.pkg.TypesInfo.Defs[recv.List[0].Names[0]]
+	}
+	if params := fd.decl.Type.Params; params != nil {
+		for _, fld := range params.List {
+			for _, name := range fld.Names {
+				obj := fd.pkg.TypesInfo.Defs[name]
+				if obj != nil && isStoreType(obj.Type()) {
+					env.storeObj = obj
+				}
+			}
+		}
+	}
+	env.run(fd.decl.Body)
+	for name := range s.regionFields {
+		s.fields[name] = env.acc[name]
+	}
+	s.unresolved = env.unresolvedList()
+	eng.work[named] = s
+	return s
+}
+
+// funcSummary computes (memoized) the helper summary of fn.
+func (eng *depEngine) funcSummary(fn *types.Func) *funcSummary {
+	if s, ok := eng.fns[fn]; ok {
+		return s
+	}
+	if eng.inFn[fn] {
+		return &funcSummary{unresolved: []string{"recursive helper " + fn.Name()}}
+	}
+	eng.inFn[fn] = true
+	defer delete(eng.inFn, fn)
+
+	s := &funcSummary{}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		s.unresolved = append(s.unresolved, fn.Name()+" has no signature")
+		eng.fns[fn] = s
+		return s
+	}
+	s.variadic = sig.Variadic()
+	fd, ok := eng.ix.lookup(fn)
+	if !ok || fd.decl.Body == nil {
+		s.unresolved = append(s.unresolved, fmt.Sprintf("body of %s is outside the analyzed packages", fn.Name()))
+		eng.fns[fn] = s
+		return s
+	}
+
+	env := newBodyEnv(eng, fd.pkg)
+	env.helper = true
+	// Taint-carrying parameters (and the receiver) become roots keyed
+	// "#recv", "#0", "#1", ...
+	if recv := fd.decl.Recv; recv != nil && len(recv.List) > 0 && len(recv.List[0].Names) > 0 {
+		if obj := fd.pkg.TypesInfo.Defs[recv.List[0].Names[0]]; obj != nil && carriesTaint(obj.Type()) {
+			env.paramRoots[obj] = "#recv"
+		}
+	}
+	idx := 0
+	if params := fd.decl.Type.Params; params != nil {
+		for _, fld := range params.List {
+			for _, name := range fld.Names {
+				obj := fd.pkg.TypesInfo.Defs[name]
+				if obj != nil && carriesTaint(obj.Type()) {
+					env.paramRoots[obj] = fmt.Sprintf("#%d", idx)
+				}
+				idx++
+			}
+			if len(fld.Names) == 0 {
+				idx++
+			}
+		}
+	}
+	env.run(fd.decl.Body)
+
+	nparams := sig.Params().Len()
+	s.params = make([]paramSummary, nparams)
+	for i := 0; i < nparams; i++ {
+		key := fmt.Sprintf("#%d", i)
+		s.params[i] = paramSummary{acc: env.acc[key], aliasResult: env.resultAlias[key]}
+	}
+	s.recv = paramSummary{acc: env.acc["#recv"], aliasResult: env.resultAlias["#recv"]}
+	s.unresolved = env.unresolvedList()
+	eng.fns[fn] = s
+	return s
+}
+
+// bodyEnv is the per-function walker state shared by the warm-up and
+// recording fixpoint passes.
+type bodyEnv struct {
+	eng *depEngine
+	pkg *Package
+
+	// Task-body mode: the receiver and store objects plus the Region
+	// field set of the work struct.
+	recvObj      types.Object
+	storeObj     types.Object
+	regionFields map[string]bool
+
+	// Helper mode: taint roots per parameter object.
+	helper     bool
+	paramRoots map[types.Object]string
+
+	taint       map[types.Object]rootset
+	closures    map[types.Object]*ast.FuncLit
+	acc         map[string]access
+	resultAlias map[string]bool
+	unresolved  map[string]bool
+	recording   bool
+}
+
+func newBodyEnv(eng *depEngine, pkg *Package) *bodyEnv {
+	return &bodyEnv{
+		eng:          eng,
+		pkg:          pkg,
+		regionFields: make(map[string]bool),
+		paramRoots:   make(map[types.Object]string),
+		taint:        make(map[types.Object]rootset),
+		closures:     make(map[types.Object]*ast.FuncLit),
+		acc:          make(map[string]access),
+		resultAlias:  make(map[string]bool),
+		unresolved:   make(map[string]bool),
+	}
+}
+
+// run drives the fixpoint: warm-up passes grow the taint environment
+// until it stabilizes, then one recording pass collects accesses and
+// unresolved reasons.
+func (e *bodyEnv) run(body *ast.BlockStmt) {
+	e.recording = false
+	for i := 0; i < 6; i++ {
+		before := e.taintSize()
+		e.stmt(body)
+		if e.taintSize() == before {
+			break
+		}
+	}
+	e.recording = true
+	e.unresolved = make(map[string]bool)
+	e.stmt(body)
+}
+
+func (e *bodyEnv) taintSize() int {
+	n := len(e.closures)
+	for _, rs := range e.taint {
+		n += 1 + len(rs)
+	}
+	return n
+}
+
+func (e *bodyEnv) unresolvedList() []string {
+	out := make([]string, 0, len(e.unresolved))
+	for r := range e.unresolved {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (e *bodyEnv) unresolvedf(format string, args ...interface{}) {
+	if e.recording {
+		e.unresolved[fmt.Sprintf(format, args...)] = true
+	}
+}
+
+// record notes access a on every root in rs (recording pass only).
+func (e *bodyEnv) record(rs rootset, a access) {
+	if !e.recording || a == 0 {
+		return
+	}
+	for r := range rs {
+		e.acc[r] |= a
+	}
+}
+
+func (e *bodyEnv) typeOf(x ast.Expr) types.Type {
+	if tv, ok := e.pkg.TypesInfo.Types[x]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func (e *bodyEnv) objOf(id *ast.Ident) types.Object {
+	if obj := e.pkg.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return e.pkg.TypesInfo.Defs[id]
+}
+
+func (e *bodyEnv) addTaint(obj types.Object, rs rootset) {
+	if len(rs) == 0 {
+		return
+	}
+	e.taint[obj] = union(e.taint[obj], rs)
+}
+
+// isRecv reports whether x denotes the Run receiver.
+func (e *bodyEnv) isRecv(x ast.Expr) bool {
+	id, ok := ast.Unparen(x).(*ast.Ident)
+	return ok && e.recvObj != nil && e.objOf(id) == e.recvObj
+}
+
+// isStoreExpr reports whether x denotes the task body's store parameter.
+func (e *bodyEnv) isStoreExpr(x ast.Expr) bool {
+	id, ok := ast.Unparen(x).(*ast.Ident)
+	return ok && e.storeObj != nil && e.objOf(id) == e.storeObj
+}
+
+// --- statements ---
+
+func (e *bodyEnv) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, t := range s.List {
+			e.stmt(t)
+		}
+	case *ast.ExprStmt:
+		e.value(s.X)
+	case *ast.AssignStmt:
+		e.assign(s)
+	case *ast.IncDecStmt:
+		e.lvalue(s.X, accRead|accWrite)
+	case *ast.IfStmt:
+		e.stmt(s.Init)
+		e.value(s.Cond)
+		e.stmt(s.Body)
+		e.stmt(s.Else)
+	case *ast.ForStmt:
+		e.stmt(s.Init)
+		if s.Cond != nil {
+			e.value(s.Cond)
+		}
+		e.stmt(s.Post)
+		e.stmt(s.Body)
+	case *ast.RangeStmt:
+		e.rangeStmt(s)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			rs := e.value(r)
+			if e.helper && e.recording {
+				for root := range rs {
+					e.resultAlias[root] = true
+				}
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) {
+						if obj := e.objOf(name); obj != nil {
+							e.addTaint(obj, e.value(vs.Values[i]))
+						} else {
+							e.value(vs.Values[i])
+						}
+					}
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		e.value(s.Call)
+	case *ast.GoStmt:
+		e.value(s.Call)
+	case *ast.SwitchStmt:
+		e.stmt(s.Init)
+		if s.Tag != nil {
+			e.value(s.Tag)
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, x := range cc.List {
+				e.value(x)
+			}
+			for _, t := range cc.Body {
+				e.stmt(t)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		e.stmt(s.Init)
+		e.stmt(s.Assign)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, t := range cc.Body {
+				e.stmt(t)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			e.stmt(cc.Comm)
+			for _, t := range cc.Body {
+				e.stmt(t)
+			}
+		}
+	case *ast.SendStmt:
+		e.value(s.Chan)
+		e.value(s.Value)
+	case *ast.LabeledStmt:
+		e.stmt(s.Stmt)
+	}
+}
+
+func (e *bodyEnv) assign(s *ast.AssignStmt) {
+	compound := s.Tok != token.ASSIGN && s.Tok != token.DEFINE
+	if len(s.Lhs) == len(s.Rhs) {
+		for i := range s.Lhs {
+			e.assignOne(s.Lhs[i], s.Rhs[i], compound)
+		}
+		return
+	}
+	for _, r := range s.Rhs {
+		e.value(r)
+	}
+	for _, l := range s.Lhs {
+		e.assignOne(l, nil, compound)
+	}
+}
+
+func (e *bodyEnv) assignOne(lhs, rhs ast.Expr, compound bool) {
+	var rt rootset
+	if rhs != nil {
+		if lit, ok := ast.Unparen(rhs).(*ast.FuncLit); ok {
+			// A closure bound to a local: remember the syntax for call
+			// sites, and walk the body inline with the shared taint
+			// environment (captured locals keep their taints).
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				if obj := e.objOf(id); obj != nil {
+					e.closures[obj] = lit
+				}
+			}
+			e.stmt(lit.Body)
+			return
+		}
+		rt = e.value(rhs)
+	}
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		if obj := e.objOf(l); obj != nil {
+			e.addTaint(obj, rt)
+		}
+	case *ast.IndexExpr:
+		e.value(l.Index)
+		base := e.value(l.X)
+		t := e.typeOf(l)
+		if carriesTaint(t) || isRegionType(t) {
+			// Storing a slice header (or a Region) into a container is
+			// not a data write; the container absorbs the element taint.
+			e.absorb(l.X, rt)
+			e.absorb(l.X, base)
+		} else {
+			a := accWrite
+			if compound {
+				a |= accRead
+			}
+			e.record(base, a)
+		}
+	case *ast.StarExpr:
+		pt := e.value(l.X)
+		a := accWrite
+		if compound {
+			a |= accRead
+		}
+		e.record(pt, a)
+	case *ast.SelectorExpr:
+		e.value(l.X)
+	}
+}
+
+// lvalue records access a on the taint of an assignable expression
+// (IncDecStmt targets).
+func (e *bodyEnv) lvalue(x ast.Expr, a access) {
+	switch l := ast.Unparen(x).(type) {
+	case *ast.IndexExpr:
+		e.value(l.Index)
+		if t := e.typeOf(l); !carriesTaint(t) && !isRegionType(t) {
+			e.record(e.value(l.X), a)
+			return
+		}
+		e.value(l.X)
+	case *ast.StarExpr:
+		e.record(e.value(l.X), a)
+	default:
+		e.value(x)
+	}
+}
+
+// absorb merges element taint rt into the container expression's base
+// local, so later loads from the container yield it back.
+func (e *bodyEnv) absorb(container ast.Expr, rt rootset) {
+	if len(rt) == 0 {
+		return
+	}
+	switch c := ast.Unparen(container).(type) {
+	case *ast.Ident:
+		if obj := e.objOf(c); obj != nil {
+			e.addTaint(obj, rt)
+		}
+	case *ast.IndexExpr:
+		e.absorb(c.X, rt)
+	case *ast.SliceExpr:
+		e.absorb(c.X, rt)
+	}
+}
+
+func (e *bodyEnv) rangeStmt(s *ast.RangeStmt) {
+	xt := e.value(s.X)
+	t := e.typeOf(s.X)
+	var elem types.Type
+	if t != nil {
+		switch u := t.Underlying().(type) {
+		case *types.Slice:
+			elem = u.Elem()
+		case *types.Array:
+			elem = u.Elem()
+		case *types.Map:
+			elem = u.Elem()
+		}
+	}
+	if s.Value != nil && elem != nil {
+		if id, ok := s.Value.(*ast.Ident); ok && id.Name != "_" {
+			if carriesTaint(elem) || isRegionType(elem) {
+				if obj := e.objOf(id); obj != nil {
+					e.addTaint(obj, xt)
+				}
+			} else {
+				e.record(xt, accRead)
+			}
+		} else {
+			e.record(xt, accRead)
+		}
+	}
+	e.stmt(s.Body)
+}
+
+// --- expressions ---
+
+// value evaluates x for its taint, recording element-level accesses on
+// tracked slices along the way.
+func (e *bodyEnv) value(x ast.Expr) rootset {
+	switch x := ast.Unparen(x).(type) {
+	case nil:
+		return nil
+	case *ast.Ident:
+		if obj := e.objOf(x); obj != nil {
+			if rs := e.taint[obj]; len(rs) > 0 {
+				return rs
+			}
+			if key, ok := e.paramRoots[obj]; ok {
+				return rootset{key: true}
+			}
+		}
+		return nil
+	case *ast.SelectorExpr:
+		if e.isRecv(x.X) {
+			if e.regionFields[x.Sel.Name] {
+				return rootset{x.Sel.Name: true}
+			}
+			return nil
+		}
+		e.value(x.X)
+		return nil
+	case *ast.IndexExpr:
+		e.value(x.Index)
+		base := e.value(x.X)
+		t := e.typeOf(x)
+		if carriesTaint(t) || isRegionType(t) {
+			// Loading a slice (or Region) element aliases the container's
+			// taint; no data access happens.
+			return base
+		}
+		e.record(base, accRead)
+		return nil
+	case *ast.SliceExpr:
+		if x.Low != nil {
+			e.value(x.Low)
+		}
+		if x.High != nil {
+			e.value(x.High)
+		}
+		if x.Max != nil {
+			e.value(x.Max)
+		}
+		return e.value(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			if idx, ok := ast.Unparen(x.X).(*ast.IndexExpr); ok {
+				// &b[i] takes the element's address: pure aliasing, not a
+				// data read (the unsafe view-conversion idiom).
+				e.value(idx.Index)
+				return e.value(idx.X)
+			}
+		}
+		return e.value(x.X)
+	case *ast.StarExpr:
+		pt := e.value(x.X)
+		e.record(pt, accRead)
+		return pt
+	case *ast.BinaryExpr:
+		e.value(x.X)
+		e.value(x.Y)
+		return nil
+	case *ast.CallExpr:
+		return e.call(x)
+	case *ast.CompositeLit:
+		var out rootset
+		for _, elt := range x.Elts {
+			v := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			out = union(out, e.value(v))
+		}
+		return out
+	case *ast.KeyValueExpr:
+		return e.value(x.Value)
+	case *ast.FuncLit:
+		e.stmt(x.Body)
+		return nil
+	case *ast.TypeAssertExpr:
+		return e.value(x.X)
+	}
+	return nil
+}
+
+func (e *bodyEnv) call(call *ast.CallExpr) rootset {
+	// Type conversions propagate taint unchanged (the unsafe.Pointer /
+	// (*float32)(...) view chain).
+	if tv, ok := e.pkg.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		var out rootset
+		for _, a := range call.Args {
+			out = union(out, e.value(a))
+		}
+		return out
+	}
+	// Builtins.
+	if id := calleeIdent(call); id != nil {
+		if b, ok := e.objOf(id).(*types.Builtin); ok {
+			return e.builtin(b.Name(), call)
+		}
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	// store.Bytes(region): the taint source.
+	if isSel && sel.Sel.Name == "Bytes" && isStoreType(e.typeOf(sel.X)) {
+		if !e.helper && e.isStoreExpr(sel.X) && len(call.Args) == 1 {
+			rs, ok := e.regionSource(call.Args[0])
+			if !ok {
+				e.unresolvedf("store.Bytes argument %s is not traceable to a Region field", types.ExprString(call.Args[0]))
+				return nil
+			}
+			return rs
+		}
+		e.unresolvedf("store access %s outside the task body's own store parameter", types.ExprString(call.Fun))
+		return nil
+	}
+	// Nested task body: SomeWork{F: ...}.Run(store) maps the callee's
+	// field accesses back through the literal onto our own fields.
+	if isSel && sel.Sel.Name == "Run" && len(call.Args) == 1 && e.isStoreExpr(call.Args[0]) {
+		if e.nestedWork(sel) {
+			return nil
+		}
+	}
+	// Calling a locally-bound closure: propagate argument taints onto
+	// the closure's parameters (its body is walked inline already) and
+	// return the union taint of the closure's own return values.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if obj := e.objOf(id); obj != nil {
+			if lit, ok := e.closures[obj]; ok {
+				e.bindClosureArgs(lit, call)
+				return e.closureResult(lit)
+			}
+		}
+	}
+	// Statically-resolved function or method: apply its summary.
+	if fn, ok := staticCallee(e.pkg, call); ok {
+		if _, isFuncDecl := e.eng.ix.lookup(fn); isFuncDecl {
+			return e.applyCall(fn, sel, call)
+		}
+		// Out-of-module callee (stdlib etc.): safe only if no tracked
+		// data flows in.
+		e.flagOpaque(fn.FullName(), sel, call)
+		return nil
+	}
+	// Fully dynamic call (func value, interface method).
+	e.flagOpaque(types.ExprString(call.Fun), sel, call)
+	return nil
+}
+
+// flagOpaque evaluates the arguments (and receiver) of a call the
+// engine cannot summarize and marks the summary unresolved if tracked
+// data reaches it.
+func (e *bodyEnv) flagOpaque(name string, sel *ast.SelectorExpr, call *ast.CallExpr) {
+	tainted := false
+	if sel != nil && len(e.value(sel.X)) > 0 {
+		tainted = true
+	}
+	for _, a := range call.Args {
+		if len(e.value(a)) > 0 || e.isStoreExpr(a) {
+			tainted = true
+		}
+	}
+	if tainted {
+		e.unresolvedf("call to %s receives tracked data the analysis cannot follow", name)
+	}
+}
+
+// nestedWork handles SomeWork{...}.Run(store). Returns false when the
+// receiver is not a work-shaped type, leaving the call to the generic
+// paths.
+func (e *bodyEnv) nestedWork(sel *ast.SelectorExpr) bool {
+	named := namedOf(e.typeOf(sel.X))
+	if named == nil {
+		return false
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return false
+	}
+	sum := e.eng.workSummary(named)
+	if len(sum.regionFields) == 0 && len(sum.unresolved) == 0 {
+		return true // region-free nested body: nothing to map
+	}
+	if len(sum.unresolved) > 0 {
+		e.unresolvedf("nested task body %s: %s", named.Obj().Name(), sum.unresolved[0])
+		return true
+	}
+	lit := compositeLitOf(sel.X)
+	if lit == nil {
+		e.unresolvedf("nested task body %s is not constructed from a literal", named.Obj().Name())
+		return true
+	}
+	fields := litFieldExprs(lit, named)
+	for _, fname := range sortedKeys(sum.fields) {
+		a := sum.fields[fname]
+		if a == 0 {
+			continue
+		}
+		fe, ok := fields[fname]
+		if !ok {
+			continue // zero-value Region in the nested body
+		}
+		rs, ok := e.regionSource(fe)
+		if !ok {
+			e.unresolvedf("nested task body %s: field %s value %s is not traceable", named.Obj().Name(), fname, types.ExprString(fe))
+			continue
+		}
+		e.record(rs, a)
+	}
+	return true
+}
+
+// closureResult computes the union taint of a closure's return values
+// (nested literals return for themselves and are skipped).
+func (e *bodyEnv) closureResult(lit *ast.FuncLit) rootset {
+	var out rootset
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				out = union(out, e.value(r))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// bindClosureArgs taints the closure's parameters with the call's
+// argument taints; the body itself is walked inline where the literal
+// was bound.
+func (e *bodyEnv) bindClosureArgs(lit *ast.FuncLit, call *ast.CallExpr) {
+	var params []*ast.Ident
+	for _, fld := range lit.Type.Params.List {
+		params = append(params, fld.Names...)
+	}
+	for i, arg := range call.Args {
+		at := e.value(arg)
+		if i < len(params) && len(at) > 0 {
+			if obj := e.pkg.TypesInfo.Defs[params[i]]; obj != nil {
+				e.addTaint(obj, at)
+			}
+		}
+	}
+}
+
+// applyCall applies a summarized helper's effects to the call's
+// arguments and receiver.
+func (e *bodyEnv) applyCall(fn *types.Func, sel *ast.SelectorExpr, call *ast.CallExpr) rootset {
+	sum := e.eng.funcSummary(fn)
+	var out rootset
+	anyTainted := false
+	if sel != nil {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			rt := e.value(sel.X)
+			if len(rt) > 0 {
+				anyTainted = true
+			}
+			e.record(rt, sum.recv.acc)
+			if sum.recv.aliasResult {
+				out = union(out, rt)
+			}
+		}
+	}
+	for i, arg := range call.Args {
+		at := e.value(arg)
+		if len(at) > 0 {
+			anyTainted = true
+		}
+		if e.isStoreExpr(arg) {
+			anyTainted = true
+		}
+		ps := sum.paramAt(i)
+		e.record(at, ps.acc)
+		if ps.aliasResult {
+			out = union(out, at)
+		}
+	}
+	if len(sum.unresolved) > 0 && anyTainted {
+		e.unresolvedf("call to %s is not summarizable: %s", fn.Name(), sum.unresolved[0])
+	}
+	return out
+}
+
+func (e *bodyEnv) builtin(name string, call *ast.CallExpr) rootset {
+	args := call.Args
+	switch name {
+	case "append":
+		if len(args) == 0 {
+			return nil
+		}
+		s0 := e.value(args[0])
+		e.record(s0, accRead|accWrite)
+		out := s0
+		for _, a := range args[1:] {
+			out = union(out, e.value(a))
+		}
+		return out
+	case "copy":
+		if len(args) == 2 {
+			e.record(e.value(args[0]), accWrite)
+			e.record(e.value(args[1]), accRead)
+		}
+		return nil
+	case "clear":
+		if len(args) == 1 {
+			e.record(e.value(args[0]), accWrite)
+		}
+		return nil
+	case "Slice", "SliceData", "String", "StringData":
+		// unsafe view constructors alias their pointer operand.
+		var out rootset
+		if len(args) > 0 {
+			out = e.value(args[0])
+		}
+		for _, a := range args[1:] {
+			e.value(a)
+		}
+		return out
+	default:
+		for _, a := range args {
+			e.value(a)
+		}
+		return nil
+	}
+}
+
+// regionSource resolves a Region-valued expression to the work fields
+// it denotes: a receiver field, an element of a []Region receiver
+// field, or a local whose taint traces back to one.
+func (e *bodyEnv) regionSource(x ast.Expr) (rootset, bool) {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.SelectorExpr:
+		if e.isRecv(x.X) && e.regionFields[x.Sel.Name] {
+			return rootset{x.Sel.Name: true}, true
+		}
+	case *ast.IndexExpr:
+		e.value(x.Index)
+		return e.regionSource(x.X)
+	case *ast.Ident:
+		if obj := e.objOf(x); obj != nil {
+			if rs := e.taint[obj]; len(rs) > 0 {
+				return rs, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// --- shared type predicates and literal helpers ---
+
+// calleeIdent returns the identifier a call dispatches through, for
+// builtin detection (append, copy, unsafe.Slice).
+func calleeIdent(call *ast.CallExpr) *ast.Ident {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun
+	case *ast.SelectorExpr:
+		return fun.Sel
+	}
+	return nil
+}
+
+// isRegionType reports whether t is memspace.Region (directly or via
+// the ompss.Region alias).
+func isRegionType(t types.Type) bool {
+	named := namedOf(t)
+	return named != nil && named.Obj().Name() == "Region" &&
+		named.Obj().Pkg() != nil && pathHasSuffixPkg(named.Obj().Pkg().Path(), "internal/memspace")
+}
+
+// isRegionSlice reports whether t is []Region.
+func isRegionSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	return ok && isRegionType(s.Elem())
+}
+
+// isStoreType reports whether t is memspace.Store or *memspace.Store.
+func isStoreType(t types.Type) bool {
+	named := namedOf(t)
+	return named != nil && named.Obj().Name() == "Store" &&
+		named.Obj().Pkg() != nil && pathHasSuffixPkg(named.Obj().Pkg().Path(), "internal/memspace")
+}
+
+// carriesTaint reports whether values of type t can alias tracked
+// backing data: slices, pointers and unsafe.Pointer.
+func carriesTaint(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Pointer:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// compositeLitOf peels & and parens down to a composite literal, or nil.
+func compositeLitOf(x ast.Expr) *ast.CompositeLit {
+	x = ast.Unparen(x)
+	if u, ok := x.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		x = ast.Unparen(u.X)
+	}
+	lit, _ := x.(*ast.CompositeLit)
+	return lit
+}
+
+// litFieldExprs maps the named type's struct field names to the value
+// expressions the composite literal assigns them (keyed or positional).
+func litFieldExprs(lit *ast.CompositeLit, named *types.Named) map[string]ast.Expr {
+	out := make(map[string]ast.Expr)
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return out
+	}
+	for i, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok {
+				out[id.Name] = kv.Value
+			}
+			continue
+		}
+		if i < st.NumFields() {
+			out[st.Field(i).Name()] = elt
+		}
+	}
+	return out
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,484 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DepVerify checks every task submission site — Context.Task,
+// Context.TaskBatch, Context.Taskloop and NestedCtx.Task — against an
+// interprocedural summary of what the submitted Work's Run body
+// actually does with its Region fields (see depsummary.go):
+//
+//   - a region the body writes must be declared Out, InOut or
+//     Reduction; a region the body reads must be declared In, InOut or
+//     Reduction — otherwise the scheduler will run tasks that race on
+//     that data;
+//   - a declared dependence clause whose region the body never touches
+//     is false serialization: it orders tasks for nothing;
+//   - a clause naming the right region under the wrong mode (In on a
+//     written region, Out on a read one) gets a mode-specific message.
+//
+// Work values and clause lists the analysis cannot resolve statically
+// (dynamic work lookup, computed clause slices) degrade to a
+// suppressible "cannot verify" finding — never a guessed violation.
+// Suppress with //ompss:depverify-ok <reason>.
+var DepVerify = &Analyzer{
+	Name:      "depverify",
+	Doc:       "task dependence clauses must match the regions the task body reads and writes",
+	RunModule: runDepVerify,
+}
+
+// clauseDecl is one parsed dependence clause argument: In(a) yields
+// {mode In, text "a"}.
+type clauseDecl struct {
+	mode   string // "In", "Out", "InOut", "Reduction"
+	text   string // source text of the region expression
+	spread bool   // In(regions...) spread of a []Region value
+	pos    token.Pos
+}
+
+func (c clauseDecl) reads() bool { return c.mode == "In" || c.mode == "InOut" || c.mode == "Reduction" }
+func (c clauseDecl) writes() bool {
+	return c.mode == "Out" || c.mode == "InOut" || c.mode == "Reduction"
+}
+
+// depModes maps the ompss clause constructors that declare dependences.
+// Transfer and attribute clauses (CopyIn, Target, Name, ...) do not.
+var depModes = map[string]bool{
+	"In": true, "Out": true, "InOut": true, "Reduction": true,
+}
+
+func runDepVerify(pass *ModulePass) error {
+	ix := newModuleIndex(pass)
+	eng := newDepEngine(ix)
+	v := &depVerifier{pass: pass, eng: eng}
+	for _, pkg := range pass.Pkgs {
+		if pkg.Types != nil && pkg.Types.Name() == "ompss" {
+			// The root package is the submission API's own plumbing:
+			// Taskloop forwarding to Task with caller-supplied work is not
+			// a verifiable site.
+			continue
+		}
+		for _, f := range pkg.Syntax {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				v.scanBody(pkg, fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+type depVerifier struct {
+	pass *ModulePass
+	eng  *depEngine
+}
+
+// scanBody finds every task submission call inside one function body.
+// The body is also the scope used to resolve work variables and clause
+// slices bound to locals.
+func (v *depVerifier) scanBody(pkg *Package, scope *ast.BlockStmt) {
+	ast.Inspect(scope, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := staticCallee(pkg, call)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Name() != "ompss" {
+			return true
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return true
+		}
+		recv := namedOf(sig.Recv().Type())
+		if recv == nil {
+			return true
+		}
+		switch rn := recv.Obj().Name(); {
+		case fn.Name() == "Task" && (rn == "Context" || rn == "NestedCtx"):
+			v.checkTask(pkg, scope, call)
+		case fn.Name() == "TaskBatch" && rn == "Context":
+			v.checkTaskBatch(pkg, scope, call)
+		case fn.Name() == "Taskloop" && rn == "Context":
+			v.checkTaskloop(pkg, scope, call)
+		}
+		return true
+	})
+}
+
+func (v *depVerifier) checkTask(pkg *Package, scope *ast.BlockStmt, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	work := call.Args[0]
+	var clauseExprs []ast.Expr
+	if call.Ellipsis.IsValid() {
+		// ctx.Task(work, clauses...) — resolve the spread slice.
+		exprs, ok := v.resolveClauseSlice(pkg, scope, call.Args[len(call.Args)-1])
+		if !ok {
+			v.cannotVerify(call.Pos(), "the clause slice %s is not statically resolvable",
+				types.ExprString(call.Args[len(call.Args)-1]))
+			return
+		}
+		clauseExprs = append(clauseExprs, call.Args[1:len(call.Args)-1]...)
+		clauseExprs = append(clauseExprs, exprs...)
+	} else {
+		clauseExprs = call.Args[1:]
+	}
+	v.checkSite(pkg, scope, call.Pos(), work, clauseExprs)
+}
+
+func (v *depVerifier) checkTaskBatch(pkg *Package, scope *ast.BlockStmt, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.CompositeLit)
+	if !ok {
+		v.cannotVerify(call.Pos(), "the TaskBatch spec slice is not a literal")
+		return
+	}
+	for _, elt := range lit.Elts {
+		spec, ok := ast.Unparen(elt).(*ast.CompositeLit)
+		if !ok {
+			v.cannotVerify(elt.Pos(), "the TaskSpec is not a literal")
+			continue
+		}
+		named := namedOf(v.typeOf(pkg, elt))
+		if named == nil {
+			continue
+		}
+		fields := litFieldExprs(spec, named)
+		work, ok := fields["Work"]
+		if !ok {
+			continue
+		}
+		var clauseExprs []ast.Expr
+		if cl, ok := fields["Clauses"]; ok {
+			switch cl := ast.Unparen(cl).(type) {
+			case *ast.CompositeLit:
+				clauseExprs = cl.Elts
+			default:
+				exprs, ok := v.resolveClauseSlice(pkg, scope, cl)
+				if !ok {
+					v.cannotVerify(spec.Pos(), "the TaskSpec clause slice %s is not statically resolvable", types.ExprString(cl))
+					continue
+				}
+				clauseExprs = exprs
+			}
+		}
+		v.checkSite(pkg, scope, spec.Pos(), work, clauseExprs)
+	}
+}
+
+func (v *depVerifier) checkTaskloop(pkg *Package, scope *ast.BlockStmt, call *ast.CallExpr) {
+	if len(call.Args) != 3 {
+		return
+	}
+	build, ok := ast.Unparen(call.Args[2]).(*ast.FuncLit)
+	if !ok {
+		v.cannotVerify(call.Pos(), "the Taskloop build function is not a literal")
+		return
+	}
+	// Check every (Work, []Clause) return of the build function; nested
+	// literals have their own returns and are skipped.
+	ast.Inspect(build.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			if len(n.Results) != 2 {
+				return true
+			}
+			work := n.Results[0]
+			var clauseExprs []ast.Expr
+			switch cl := ast.Unparen(n.Results[1]).(type) {
+			case *ast.CompositeLit:
+				clauseExprs = cl.Elts
+			case *ast.Ident:
+				exprs, ok := v.resolveClauseSlice(pkg, build.Body, cl)
+				if !ok {
+					v.cannotVerify(n.Pos(), "the Taskloop clause slice %s is not statically resolvable", cl.Name)
+					return true
+				}
+				clauseExprs = exprs
+			default:
+				v.cannotVerify(n.Pos(), "the Taskloop clause value is not statically resolvable")
+				return true
+			}
+			v.checkSite(pkg, build.Body, n.Pos(), work, clauseExprs)
+		}
+		return true
+	})
+}
+
+// checkSite verifies one submission: a work expression plus its parsed
+// clause list.
+func (v *depVerifier) checkSite(pkg *Package, scope *ast.BlockStmt, sitePos token.Pos, workExpr ast.Expr, clauseExprs []ast.Expr) {
+	named, lit, ok := v.resolveWork(pkg, scope, workExpr)
+	if !ok {
+		v.cannotVerify(sitePos, "the work expression %s does not resolve to a struct literal", types.ExprString(workExpr))
+		return
+	}
+	sum := v.eng.workSummary(named)
+	if len(sum.unresolved) > 0 {
+		v.cannotVerify(sitePos, "task body %s: %s", named.Obj().Name(), sum.unresolved[0])
+		return
+	}
+	if len(sum.regionFields) == 0 {
+		// A region-free body (pure-synchronization task): its clauses are
+		// intentional ordering constraints, not data declarations.
+		return
+	}
+	clauses, ok := v.parseClauses(pkg, clauseExprs)
+	if !ok {
+		v.cannotVerify(sitePos, "a clause of this submission is not statically resolvable")
+		return
+	}
+
+	fieldText := make(map[string]string)
+	fields := litFieldExprs(lit, named)
+	for name := range sum.regionFields {
+		if fe, ok := fields[name]; ok {
+			fieldText[name] = types.ExprString(fe)
+		}
+	}
+
+	matched := make([]bool, len(clauses))
+	for _, fname := range sortedKeys(sum.regionFields) {
+		acc := sum.fields[fname]
+		text := fieldText[fname]
+		var covering []int
+		for i, c := range clauses {
+			if text != "" && c.text == text {
+				covering = append(covering, i)
+				matched[i] = true
+			}
+		}
+		canRead, canWrite := false, false
+		modes := ""
+		for _, i := range covering {
+			c := clauses[i]
+			canRead = canRead || c.reads()
+			canWrite = canWrite || c.writes()
+			if modes != "" {
+				modes += "/"
+			}
+			modes += c.mode
+		}
+		if acc&accRead != 0 && !canRead {
+			if len(covering) > 0 {
+				v.report(sitePos, "task %s reads %s (field %s) but the %s clause grants no read access; declare In or InOut",
+					named.Obj().Name(), text, fname, modes)
+			} else {
+				v.report(sitePos, "task %s reads %s (field %s) with no covering In/InOut clause; the scheduler may run it before the producer finishes",
+					named.Obj().Name(), regionDesc(text, fname), fname)
+			}
+		}
+		if acc&accWrite != 0 && !canWrite {
+			if len(covering) > 0 {
+				v.report(sitePos, "task %s writes %s (field %s) but the %s clause grants no write access; declare Out or InOut",
+					named.Obj().Name(), text, fname, modes)
+			} else {
+				v.report(sitePos, "task %s writes %s (field %s) with no covering Out/InOut clause; concurrent tasks may race on it",
+					named.Obj().Name(), regionDesc(text, fname), fname)
+			}
+		}
+		if acc == 0 {
+			for _, i := range covering {
+				c := clauses[i]
+				v.report(c.pos, "clause %s(%s) covers field %s that the task body never accesses; the dependence serializes tasks for nothing",
+					c.mode, c.text, fname)
+			}
+		}
+	}
+	for i, c := range clauses {
+		if matched[i] {
+			continue
+		}
+		v.report(c.pos, "clause %s(%s) names a region that reaches no Region field of task %s; the dependence serializes tasks for nothing",
+			c.mode, c.text, named.Obj().Name())
+	}
+}
+
+// regionDesc names a region for a diagnostic even when the literal left
+// the field implicit (zero value).
+func regionDesc(text, fname string) string {
+	if text != "" {
+		return text
+	}
+	return "the zero region of field " + fname
+}
+
+// parseClauses resolves each clause expression to the dependence it
+// declares. Transfer/attribute clauses are skipped; anything that is
+// not a direct ompss clause-constructor call fails the parse.
+func (v *depVerifier) parseClauses(pkg *Package, exprs []ast.Expr) ([]clauseDecl, bool) {
+	var out []clauseDecl
+	for _, x := range exprs {
+		call, ok := ast.Unparen(x).(*ast.CallExpr)
+		if !ok {
+			return nil, false
+		}
+		fn, ok := staticCallee(pkg, call)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Name() != "ompss" {
+			return nil, false
+		}
+		name := fn.Name()
+		if !depModes[name] {
+			continue // CopyIn/CopyOut/Target/Name/...: no dependence declared
+		}
+		args := call.Args
+		if name == "Reduction" {
+			if len(args) < 1 {
+				return nil, false
+			}
+			args = args[:1] // second argument is the combiner
+		}
+		for i, a := range args {
+			out = append(out, clauseDecl{
+				mode:   name,
+				text:   types.ExprString(a),
+				spread: call.Ellipsis.IsValid() && i == len(args)-1,
+				pos:    call.Pos(),
+			})
+		}
+	}
+	return out, true
+}
+
+// resolveWork resolves the submitted work expression to a named struct
+// type plus the composite literal that constructs it: an inline
+// (&)T{...} literal, or a local variable assigned exactly one such
+// literal inside scope.
+func (v *depVerifier) resolveWork(pkg *Package, scope *ast.BlockStmt, x ast.Expr) (*types.Named, *ast.CompositeLit, bool) {
+	if lit := compositeLitOf(x); lit != nil {
+		named := namedOf(v.typeOf(pkg, lit))
+		if named != nil {
+			return named, lit, true
+		}
+		return nil, nil, false
+	}
+	id, ok := ast.Unparen(x).(*ast.Ident)
+	if !ok {
+		return nil, nil, false
+	}
+	obj := pkg.TypesInfo.Uses[id]
+	if obj == nil {
+		return nil, nil, false
+	}
+	var found *ast.CompositeLit
+	count := 0
+	ast.Inspect(scope, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			lid, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			lobj := pkg.TypesInfo.Defs[lid]
+			if lobj == nil {
+				lobj = pkg.TypesInfo.Uses[lid]
+			}
+			if lobj != obj {
+				continue
+			}
+			count++
+			found = compositeLitOf(as.Rhs[i])
+		}
+		return true
+	})
+	if count != 1 || found == nil {
+		return nil, nil, false
+	}
+	named := namedOf(v.typeOf(pkg, found))
+	if named == nil {
+		return nil, nil, false
+	}
+	return named, found, true
+}
+
+// resolveClauseSlice statically expands a local []Clause variable built
+// from a composite literal plus appends:
+//
+//	clauses := []ompss.Clause{...}
+//	clauses = append(clauses, more...)
+func (v *depVerifier) resolveClauseSlice(pkg *Package, scope *ast.BlockStmt, x ast.Expr) ([]ast.Expr, bool) {
+	if lit, ok := ast.Unparen(x).(*ast.CompositeLit); ok {
+		return lit.Elts, true
+	}
+	id, ok := ast.Unparen(x).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	obj := pkg.TypesInfo.Uses[id]
+	if obj == nil {
+		return nil, false
+	}
+	var elems []ast.Expr
+	resolved := true
+	ast.Inspect(scope, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			lid, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			lobj := pkg.TypesInfo.Defs[lid]
+			if lobj == nil {
+				lobj = pkg.TypesInfo.Uses[lid]
+			}
+			if lobj != obj {
+				continue
+			}
+			switch rhs := ast.Unparen(as.Rhs[i]).(type) {
+			case *ast.CompositeLit:
+				elems = append(elems, rhs.Elts...)
+			case *ast.CallExpr:
+				// clauses = append(clauses, X, Y)
+				if cid, ok := ast.Unparen(rhs.Fun).(*ast.Ident); ok && cid.Name == "append" &&
+					len(rhs.Args) > 1 && !rhs.Ellipsis.IsValid() {
+					if first, ok := ast.Unparen(rhs.Args[0]).(*ast.Ident); ok && pkg.TypesInfo.Uses[first] == obj {
+						elems = append(elems, rhs.Args[1:]...)
+						continue
+					}
+				}
+				resolved = false
+			default:
+				resolved = false
+			}
+		}
+		return true
+	})
+	if !resolved {
+		return nil, false
+	}
+	return elems, true
+}
+
+func (v *depVerifier) typeOf(pkg *Package, x ast.Expr) types.Type {
+	if tv, ok := pkg.TypesInfo.Types[x]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func (v *depVerifier) report(pos token.Pos, format string, args ...interface{}) {
+	v.pass.ReportSuppressible("depverify-ok", pos, format, args...)
+}
+
+func (v *depVerifier) cannotVerify(pos token.Pos, format string, args ...interface{}) {
+	v.pass.ReportSuppressible("depverify-ok", pos,
+		"cannot verify dependence clauses: "+format+" (annotate //ompss:depverify-ok <reason> if the clauses are intentional)", args...)
+}

@@ -1,0 +1,30 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/bsc-repro/ompss/internal/analysis"
+	"github.com/bsc-repro/ompss/internal/analysis/analysistest"
+)
+
+// TestDepVerify covers the four seeded violation shapes (undeclared
+// read, undeclared write, wrong mode, unused clause) and the clean
+// submission idioms (spreads, clause slices with append, Taskloop,
+// TaskBatch, nested bodies, closures, reductions, pure-sync tasks,
+// suppressed dynamic sites).
+func TestDepVerify(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.DepVerify,
+		modPrefix+"internal/apps/depbad",
+		modPrefix+"internal/apps/depok",
+	)
+}
+
+// TestDepVerifyHeatHalo is the regression corpus for the heat-stencil
+// halo mis-declaration: the Jacobi block's read set is one halo row
+// wider than the declared In, and exactly the two halo reads must be
+// flagged while the corrected site stays clean.
+func TestDepVerifyHeatHalo(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.DepVerify,
+		modPrefix+"internal/apps/depheat",
+	)
+}

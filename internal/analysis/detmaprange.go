@@ -36,12 +36,10 @@ func runDetMapRange(pass *Pass) error {
 			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
 				return true
 			}
-			if !pass.Suppressed("maporder-ok", rs.For) {
-				pass.Reportf(rs.For,
-					"range over map %s: iteration order is randomized and breaks bit-identical replay; "+
-						"iterate detmap.Keys, clear() for delete-all, or annotate //ompss:maporder-ok <reason>",
-					types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)))
-			}
+			pass.ReportSuppressible("maporder-ok", rs.For,
+				"range over map %s: iteration order is randomized and breaks bit-identical replay; "+
+					"iterate detmap.Keys, clear() for delete-all, or annotate //ompss:maporder-ok <reason>",
+				types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)))
 			return true
 		})
 	}

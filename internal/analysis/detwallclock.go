@@ -62,9 +62,7 @@ func runDetWallclock(pass *Pass) error {
 			default:
 				return true
 			}
-			if !pass.Suppressed("wallclock-ok", sel.Pos()) {
-				pass.Reportf(sel.Pos(), "%s (or annotate //ompss:wallclock-ok <reason>)", msg)
-			}
+			pass.ReportSuppressible("wallclock-ok", sel.Pos(), "%s (or annotate //ompss:wallclock-ok <reason>)", msg)
 			return true
 		})
 	}

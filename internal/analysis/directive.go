@@ -20,12 +20,17 @@ type Directive struct {
 const directivePrefix = "//ompss:"
 
 // KnownKinds are the directive kinds the suite accepts, mapping each to
-// the analyzer it silences.
+// the analyzer it silences. The ompssdirective analyzer cross-checks
+// every entry against the registered suite, so a kind whose analyzer is
+// renamed or removed rots visibly instead of silently accepting stale
+// suppressions.
 var KnownKinds = map[string]string{
 	"wallclock-ok": "detwallclock",
 	"maporder-ok":  "detmaprange",
 	"simblock-ok":  "simblocking",
 	"tracepair-ok": "tracepair",
+	"depverify-ok": "depverify",
+	"lockorder-ok": "lockorder",
 }
 
 // parseDirective parses a single comment, reporting ok=false for

@@ -1,0 +1,44 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSONDiagnostic is the machine-readable form of one finding, stable
+// across runs: RunAnalyzers sorts by position/analyzer/message, and the
+// field set is append-only for downstream consumers (CI artifacts diff
+// these between commits).
+type JSONDiagnostic struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Kind       string `json:"kind,omitempty"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+// EncodeJSON writes diags — suppressed findings included, so the
+// escape-hatch usage stays auditable — as an indented JSON array. The
+// relFile hook lets callers relativize paths (identity when nil).
+func EncodeJSON(w io.Writer, diags []Diagnostic, relFile func(string) string) error {
+	if relFile == nil {
+		relFile = func(s string) string { return s }
+	}
+	out := make([]JSONDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, JSONDiagnostic{
+			File:       relFile(d.Pos.Filename),
+			Line:       d.Pos.Line,
+			Col:        d.Pos.Column,
+			Analyzer:   d.Analyzer,
+			Message:    d.Message,
+			Kind:       d.Kind,
+			Suppressed: d.Suppressed,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

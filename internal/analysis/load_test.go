@@ -1,0 +1,162 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/bsc-repro/ompss/internal/analysis"
+)
+
+// writeTree materializes files (path -> contents) under a fresh temp
+// directory and returns its root. Fixtures deliberately import nothing,
+// not even the standard library, so the loader never has to shell out
+// to `go list` for export data inside a throwaway module.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for path, contents := range files {
+		full := filepath.Join(root, filepath.FromSlash(path))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(contents), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestLoadModuleMissingGoMod(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"a.go": "package m\n",
+	})
+	if _, err := analysis.LoadModule(root); err == nil {
+		t.Fatal("LoadModule succeeded on a directory with no go.mod")
+	}
+}
+
+func TestLoadModuleNoModuleLine(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod": "// a go.mod with no module directive\n",
+		"a.go":   "package m\n",
+	})
+	_, err := analysis.LoadModule(root)
+	if err == nil || !strings.Contains(err.Error(), "no module line") {
+		t.Fatalf("want a no-module-line error, got %v", err)
+	}
+}
+
+func TestLoadModuleSyntaxError(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod": "module example.com/m\n",
+		"a.go":   "package m\n\nfunc broken( {\n",
+	})
+	_, err := analysis.LoadModule(root)
+	if err == nil || !strings.Contains(err.Error(), "a.go") {
+		t.Fatalf("want a parse error naming a.go, got %v", err)
+	}
+}
+
+func TestLoadModuleTypeError(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod": "module example.com/m\n",
+		"a.go":   "package m\n\nfunc f() { undefinedIdent() }\n",
+	})
+	_, err := analysis.LoadModule(root)
+	if err == nil || !strings.Contains(err.Error(), "type-checking") {
+		t.Fatalf("want a type-checking error, got %v", err)
+	}
+}
+
+// TestLoadModuleSkipsNonPackageDirs plants broken Go files in every
+// directory class the go command refuses to walk — testdata, vendor,
+// hidden, underscore — and requires the load to succeed anyway,
+// returning only the real packages sorted by import path.
+func TestLoadModuleSkipsNonPackageDirs(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":             "module example.com/m\n",
+		"a.go":               "package m\n\nfunc Ok() int { return 1 }\n",
+		"sub/sub.go":         "package sub\n\nfunc Also() int { return 2 }\n",
+		"testdata/bad.go":    "package broken ...\n",
+		"vendor/v/bad.go":    "package broken ...\n",
+		".hidden/bad.go":     "package broken ...\n",
+		"_skip/bad.go":       "package broken ...\n",
+		"sub/notgo.txt":      "not a go file\n",
+		"sub/x_test.go":      "package sub ...\n",
+		"sub/.dotfile.go":    "package broken ...\n",
+		"sub/_underscore.go": "package broken ...\n",
+	})
+	pkgs, err := analysis.LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	var paths []string
+	for _, p := range pkgs {
+		paths = append(paths, p.Path)
+	}
+	want := []string{"example.com/m", "example.com/m/sub"}
+	if len(paths) != len(want) {
+		t.Fatalf("loaded %v, want %v", paths, want)
+	}
+	for i := range want {
+		if paths[i] != want[i] {
+			t.Fatalf("loaded %v, want %v", paths, want)
+		}
+	}
+}
+
+func TestLoadModuleImportCycle(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":  "module example.com/m\n",
+		"a/a.go":  "package a\n\nimport \"example.com/m/b\"\n\nfunc A() int { return b.B() }\n",
+		"b/b.go":  "package b\n\nimport \"example.com/m/a\"\n\nfunc B() int { return a.A() }\n",
+		"root.go": "package m\n",
+	})
+	_, err := analysis.LoadModule(root)
+	if err == nil || !strings.Contains(err.Error(), "import cycle") {
+		t.Fatalf("want an import-cycle error, got %v", err)
+	}
+}
+
+func TestLoaderLoadEmptyDir(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"empty/.keep": "",
+	})
+	ld := analysis.NewLoader(root, func(string) (string, bool) { return "", false })
+	_, err := ld.Load("example.com/empty", filepath.Join(root, "empty"))
+	if err == nil || !strings.Contains(err.Error(), "no Go files") {
+		t.Fatalf("want a no-Go-files error, got %v", err)
+	}
+}
+
+func TestLoaderLoadMissingDir(t *testing.T) {
+	root := t.TempDir()
+	ld := analysis.NewLoader(root, func(string) (string, bool) { return "", false })
+	if _, err := ld.Load("example.com/gone", filepath.Join(root, "gone")); err == nil {
+		t.Fatal("Load succeeded on a directory that does not exist")
+	}
+}
+
+// TestLoaderMemoizes loads the same import path twice and requires the
+// identical *Package back: analyzers compare types.Object identities
+// across packages, which only holds if the loader never re-checks.
+func TestLoaderMemoizes(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod": "module example.com/m\n",
+		"a.go":   "package m\n\nfunc Ok() int { return 1 }\n",
+	})
+	ld := analysis.NewLoader(root, func(string) (string, bool) { return "", false })
+	p1, err := ld.Load("example.com/m", root)
+	if err != nil {
+		t.Fatalf("first Load: %v", err)
+	}
+	p2, err := ld.Load("example.com/m", root)
+	if err != nil {
+		t.Fatalf("second Load: %v", err)
+	}
+	if p1 != p2 {
+		t.Fatal("Load re-checked an already-loaded package instead of memoizing")
+	}
+}

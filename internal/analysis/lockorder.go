@@ -1,0 +1,452 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockOrder builds a static lock graph over every sync.Mutex /
+// sync.RWMutex acquisition in the module and checks that acquisitions
+// form a consistent partial order. A lock's identity is the declared
+// field or variable it lives in (so all instances of a sharded lock
+// collapse to one node), and an edge A→B means some execution path
+// acquires B while A is held — either directly in one function body or
+// through a statically-resolved call chain (a fixpoint "may acquire"
+// set per function). The pass reports:
+//
+//   - AB/BA pairs: two sites acquiring the same two locks in opposite
+//     orders, the classic deadlock;
+//   - self-edges: acquiring a lock (or another instance sharing its
+//     declaration, e.g. two shards) while one is already held;
+//   - larger cycles A→B→C→A that no single pair exposes.
+//
+// Function literals are independent contexts (a spawned goroutine does
+// not inherit the spawner's locks), and deferred unlocks hold the lock
+// to the end of the function. Suppress intentional orderings with
+// //ompss:lockorder-ok <reason>.
+var LockOrder = &Analyzer{
+	Name:      "lockorder",
+	Doc:       "mutex acquisitions must form a consistent order across the module's static lock graph",
+	RunModule: runLockOrder,
+}
+
+// lockEdge is one "acquire to while holding from" observation.
+type lockEdge struct {
+	pos token.Pos
+	via string // callee name when the acquisition is interprocedural
+}
+
+type lockGraph struct {
+	pass *ModulePass
+	ix   *moduleIndex
+	// display names one lock object, captured at its first sighting.
+	display map[types.Object]string
+	// direct[f] is the set of locks f's own body acquires; may[f] adds
+	// everything reachable through static calls.
+	direct map[*types.Func]map[types.Object]bool
+	may    map[*types.Func]map[types.Object]bool
+	// edges[from][to] is the earliest observation of each ordered pair.
+	edges map[types.Object]map[types.Object]lockEdge
+}
+
+func runLockOrder(pass *ModulePass) error {
+	g := &lockGraph{
+		pass:    pass,
+		ix:      newModuleIndex(pass),
+		display: make(map[types.Object]string),
+		direct:  make(map[*types.Func]map[types.Object]bool),
+		may:     make(map[*types.Func]map[types.Object]bool),
+		edges:   make(map[types.Object]map[types.Object]lockEdge),
+	}
+	g.collectDirect()
+	g.propagate()
+	g.collectEdges()
+	g.report()
+	return nil
+}
+
+// lockOp matches a Lock/RLock/Unlock/RUnlock call on a sync.Mutex or
+// sync.RWMutex (including embedded ones) and returns the identity of
+// the mutex: the types.Object of the selected field or variable.
+func lockOp(pkg *Package, call *ast.CallExpr) (obj types.Object, op string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	op = sel.Sel.Name
+	switch op {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return nil, "", false
+	}
+	fn, isFn := pkg.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, "", false
+	}
+	// The mutex value is the deepest selected field (or the plain
+	// variable) the method is invoked on: for s.shards[i].mu.Lock() the
+	// identity is the `mu` field object; for an embedded mutex
+	// (s.Lock()) it is the field or variable `s` resolves to.
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		obj = pkg.TypesInfo.Uses[x.Sel]
+	case *ast.Ident:
+		obj = pkg.TypesInfo.Uses[x]
+		if obj == nil {
+			obj = pkg.TypesInfo.Defs[x]
+		}
+	case *ast.IndexExpr:
+		switch b := ast.Unparen(x.X).(type) {
+		case *ast.SelectorExpr:
+			obj = pkg.TypesInfo.Uses[b.Sel]
+		case *ast.Ident:
+			obj = pkg.TypesInfo.Uses[b]
+		}
+	}
+	if obj == nil {
+		return nil, "", false
+	}
+	return obj, op, true
+}
+
+func (g *lockGraph) name(obj types.Object, sel ast.Expr) string {
+	if n, ok := g.display[obj]; ok {
+		return n
+	}
+	n := types.ExprString(sel)
+	if obj.Pkg() != nil {
+		n = obj.Pkg().Name() + ": " + n
+	}
+	g.display[obj] = n
+	return n
+}
+
+// collectDirect records, per function declaration, the set of locks its
+// own body (excluding nested function literals) acquires.
+func (g *lockGraph) collectDirect() {
+	for fn, fd := range g.ix.funcs {
+		if fd.decl.Body == nil {
+			continue
+		}
+		set := make(map[types.Object]bool)
+		g.scanDirect(fd.pkg, fd.decl.Body, set)
+		if len(set) > 0 {
+			g.direct[fn] = set
+		}
+	}
+}
+
+func (g *lockGraph) scanDirect(pkg *Package, body *ast.BlockStmt, set map[types.Object]bool) {
+	// A lock the function Unlocks before its first Lock of it is a
+	// caller-held lock being handed off (the `fooLocked` helper idiom:
+	// unlock, run a callback, re-lock). The re-acquisition happens with
+	// the lock demonstrably free, so it must not export into the
+	// function's may-acquire set — that would turn every hand-off helper
+	// into a false self-deadlock at its call sites.
+	unlockedFirst := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			obj, op, ok := lockOp(pkg, n)
+			if !ok {
+				return true
+			}
+			switch op {
+			case "Lock", "RLock":
+				if !unlockedFirst[obj] {
+					set[obj] = true
+					if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+						g.name(obj, sel.X)
+					}
+				}
+			case "Unlock", "RUnlock":
+				if !set[obj] {
+					unlockedFirst[obj] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// propagate computes the may-acquire fixpoint over the static call
+// graph: may[f] = direct[f] ∪ may[callees of f].
+func (g *lockGraph) propagate() {
+	for fn, set := range g.direct {
+		cp := make(map[types.Object]bool, len(set))
+		for k := range set {
+			cp[k] = true
+		}
+		g.may[fn] = cp
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, fd := range g.ix.funcs {
+			if fd.decl.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.decl.Body, func(n ast.Node) bool {
+				// Function literals are independent contexts here too: a
+				// closure typically runs after the enclosing function
+				// released its locks (goroutine or scheduled callback), so
+				// its acquisitions must not leak into the caller's
+				// may-acquire set.
+				if _, isLit := n.(*ast.FuncLit); isLit {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee, ok := staticCallee(fd.pkg, call)
+				if !ok {
+					return true
+				}
+				for obj := range g.may[callee] {
+					if g.may[fn] == nil {
+						g.may[fn] = make(map[types.Object]bool)
+					}
+					if !g.may[fn][obj] {
+						g.may[fn][obj] = true
+						changed = true
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// collectEdges scans every function body in source order, tracking the
+// held-lock stack, and adds an edge held→acquired for each direct
+// acquisition and each call that may transitively acquire.
+func (g *lockGraph) collectEdges() {
+	for _, fd := range g.ix.funcs {
+		if fd.decl.Body != nil {
+			g.scanEdges(fd.pkg, fd.decl.Body)
+		}
+	}
+}
+
+func (g *lockGraph) scanEdges(pkg *Package, body *ast.BlockStmt) {
+	var held []types.Object
+	deferred := make(map[*ast.CallExpr]bool)
+	remove := func(obj types.Object) {
+		for i := len(held) - 1; i >= 0; i-- {
+			if held[i] == obj {
+				held = append(held[:i], held[i+1:]...)
+				return
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			deferred[n.Call] = true
+			return true
+		case *ast.FuncLit:
+			g.scanEdges(pkg, n.Body)
+			return false
+		case *ast.CallExpr:
+			if obj, op, ok := lockOp(pkg, n); ok {
+				switch op {
+				case "Lock", "RLock":
+					for _, h := range held {
+						g.addEdge(h, obj, n.Pos(), "")
+					}
+					held = append(held, obj)
+				case "Unlock", "RUnlock":
+					if !deferred[n] {
+						remove(obj)
+					}
+				}
+				return true
+			}
+			if len(held) == 0 {
+				return true
+			}
+			callee, ok := staticCallee(pkg, n)
+			if !ok {
+				return true
+			}
+			for _, acq := range sortedLockObjs(g.may[callee]) {
+				for _, h := range held {
+					g.addEdge(h, acq, n.Pos(), callee.Name())
+				}
+			}
+			return true
+		}
+		return true
+	})
+}
+
+func (g *lockGraph) addEdge(from, to types.Object, pos token.Pos, via string) {
+	m := g.edges[from]
+	if m == nil {
+		m = make(map[types.Object]lockEdge)
+		g.edges[from] = m
+	}
+	if old, ok := m[to]; !ok || pos < old.pos {
+		m[to] = lockEdge{pos: pos, via: via}
+	}
+}
+
+// report emits self-edges, AB/BA pairs and residual cycles, each
+// suppressible with //ompss:lockorder-ok.
+func (g *lockGraph) report() {
+	nodes := make([]types.Object, 0, len(g.edges))
+	for n := range g.edges {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return g.display[nodes[i]] < g.display[nodes[j]] })
+
+	reportedPair := make(map[[2]types.Object]bool)
+	for _, a := range nodes {
+		for _, b := range sortedLockObjs(g.edges[a]) {
+			e := g.edges[a][b]
+			if a == b {
+				g.reportf(e, "lock %s is acquired while an instance of it is already held%s; "+
+					"same-declaration locks have no static order — order by index or restructure",
+					g.display[a], viaSuffix(e))
+				continue
+			}
+			back, hasBack := g.edges[b][a]
+			if !hasBack {
+				continue
+			}
+			key := pairKey(a, b)
+			if reportedPair[key] {
+				continue
+			}
+			reportedPair[key] = true
+			// Report at the later edge, referencing the earlier one.
+			first, second := e, back
+			fa, fb := a, b
+			if second.pos < first.pos {
+				first, second = second, first
+				fa, fb = b, a
+			}
+			g.reportf(second, "inconsistent lock order: %s is acquired while %s is held%s, but %s acquires them in the opposite order",
+				g.display[fa], g.display[fb], viaSuffix(second), g.pass.Fset.Position(first.pos))
+		}
+	}
+
+	// Residual cycles: SCCs of size >= 2 with no internal AB/BA pair
+	// already reported above.
+	for _, scc := range stronglyConnected(nodes, g.edges) {
+		if len(scc) < 2 {
+			continue
+		}
+		hasPair := false
+		for i := 0; i < len(scc) && !hasPair; i++ {
+			for j := i + 1; j < len(scc); j++ {
+				if reportedPair[pairKey(scc[i], scc[j])] {
+					hasPair = true
+					break
+				}
+			}
+		}
+		if hasPair {
+			continue
+		}
+		names := make([]string, len(scc))
+		minEdge := lockEdge{pos: token.NoPos}
+		for i, n := range scc {
+			names[i] = g.display[n]
+			for _, m := range scc {
+				if e, ok := g.edges[n][m]; ok && (minEdge.pos == token.NoPos || e.pos < minEdge.pos) {
+					minEdge = e
+				}
+			}
+		}
+		sort.Strings(names)
+		g.reportf(minEdge, "lock-order cycle among %v: no consistent acquisition order exists", names)
+	}
+}
+
+func (g *lockGraph) reportf(e lockEdge, format string, args ...interface{}) {
+	g.pass.ReportSuppressible("lockorder-ok", e.pos, format+" (or annotate //ompss:lockorder-ok <reason>)", args...)
+}
+
+func viaSuffix(e lockEdge) string {
+	if e.via == "" {
+		return ""
+	}
+	return " (via call to " + e.via + ")"
+}
+
+func pairKey(a, b types.Object) [2]types.Object {
+	if objLess(b, a) {
+		a, b = b, a
+	}
+	return [2]types.Object{a, b}
+}
+
+func objLess(a, b types.Object) bool {
+	if a.Pos() != b.Pos() {
+		return a.Pos() < b.Pos()
+	}
+	return a.Name() < b.Name()
+}
+
+func sortedLockObjs[V any](m map[types.Object]V) []types.Object {
+	out := make([]types.Object, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return objLess(out[i], out[j]) })
+	return out
+}
+
+// stronglyConnected returns Tarjan SCCs of the lock graph in
+// deterministic order.
+func stronglyConnected(nodes []types.Object, edges map[types.Object]map[types.Object]lockEdge) [][]types.Object {
+	index := make(map[types.Object]int)
+	low := make(map[types.Object]int)
+	onStack := make(map[types.Object]bool)
+	var stack []types.Object
+	var sccs [][]types.Object
+	next := 1
+
+	var strong func(v types.Object)
+	strong = func(v types.Object) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range sortedLockObjs(edges[v]) {
+			if index[w] == 0 {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []types.Object
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, v := range nodes {
+		if index[v] == 0 {
+			strong(v)
+		}
+	}
+	return sccs
+}

@@ -1,0 +1,19 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/bsc-repro/ompss/internal/analysis"
+	"github.com/bsc-repro/ompss/internal/analysis/analysistest"
+)
+
+// TestLockOrder covers the seeded lock-graph violations (direct AB/BA,
+// interprocedural AB/BA, same-declaration shard locks, a three-lock
+// cycle) and the accepted idioms (consistent order, unlock-then-relock
+// hand-off helpers, goroutine isolation, reasoned suppression).
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.LockOrder,
+		modPrefix+"internal/apps/lockbad",
+		modPrefix+"internal/apps/lockok",
+	)
+}

@@ -1,17 +1,61 @@
 package analysis
 
+import (
+	"sort"
+	"strings"
+)
+
 // OmpssDirective validates the suppression directives themselves, in
-// every package: a `//ompss:` comment must name a known kind and must
-// carry a human-readable reason. A reasonless directive is both a
-// finding here and inert — it suppresses nothing — so the escape hatch
-// cannot be used silently.
+// every package: a `//ompss:` comment must name a known kind, the kind
+// must be backed by an analyzer that is actually registered in the
+// suite, and the directive must carry a human-readable reason. A
+// reasonless directive is both a finding here and inert — it suppresses
+// nothing — so the escape hatch cannot be used silently; a kind whose
+// analyzer was renamed or dropped is a hard finding, so stale
+// suppressions rot visibly instead of masking nothing forever.
 var OmpssDirective = &Analyzer{
 	Name: "ompssdirective",
-	Doc:  "every //ompss:<kind> directive must be a known kind and carry a reason",
-	Run:  runOmpssDirective,
+	Doc:  "every //ompss:<kind> directive must be a known kind backed by a registered analyzer and carry a reason",
+}
+
+// Run is wired in init: runOmpssDirective consults Analyzers(), which
+// includes OmpssDirective itself, and a direct reference in the
+// composite literal would be an initialization cycle.
+func init() { OmpssDirective.Run = runOmpssDirective }
+
+// knownKindList renders the accepted kinds, sorted, for messages.
+func knownKindList(kinds map[string]string) string {
+	names := make([]string, 0, len(kinds))
+	for k := range kinds {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// staleKinds returns the kinds of kinds whose mapped analyzer name is
+// not present in analyzers, sorted. A nonempty result means the
+// directive vocabulary drifted from the registered suite.
+func staleKinds(kinds map[string]string, analyzers []*Analyzer) []string {
+	registered := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		registered[a.Name] = true
+	}
+	var stale []string
+	for kind, analyzer := range kinds {
+		if !registered[analyzer] {
+			stale = append(stale, kind)
+		}
+	}
+	sort.Strings(stale)
+	return stale
 }
 
 func runOmpssDirective(pass *Pass) error {
+	stale := make(map[string]bool)
+	for _, kind := range staleKinds(KnownKinds, Analyzers()) {
+		stale[kind] = true
+	}
 	for _, f := range pass.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -20,7 +64,11 @@ func runOmpssDirective(pass *Pass) error {
 					continue
 				}
 				if _, known := KnownKinds[d.Kind]; !known {
-					pass.Reportf(d.Pos, "unknown directive //ompss:%s (known: maporder-ok, simblock-ok, tracepair-ok, wallclock-ok)", d.Kind)
+					pass.Reportf(d.Pos, "unknown directive //ompss:%s (known: %s)", d.Kind, knownKindList(KnownKinds))
+					continue
+				}
+				if stale[d.Kind] {
+					pass.Reportf(d.Pos, "directive //ompss:%s names analyzer %q which is not registered in the suite; the suppression is dead — remove it or re-register the analyzer", d.Kind, KnownKinds[d.Kind])
 					continue
 				}
 				if d.Reason == "" {

@@ -164,10 +164,7 @@ func scanBlockingContext(pass *Pass, body *ast.BlockStmt, noblock bool) {
 }
 
 func report(pass *Pass, n *ast.CallExpr, format string, args ...interface{}) {
-	if pass.Suppressed("simblock-ok", n.Pos()) {
-		return
-	}
-	pass.Reportf(n.Pos(), format+" (or annotate //ompss:simblock-ok <reason>)", args...)
+	pass.ReportSuppressible("simblock-ok", n.Pos(), format+" (or annotate //ompss:simblock-ok <reason>)", args...)
 }
 
 // mutexOp matches method calls on sync.Mutex/sync.RWMutex values,

@@ -1,0 +1,77 @@
+// Package depbad seeds the four dependence-clause violation shapes
+// depverify must catch: an undeclared read, an undeclared write, a
+// clause with the wrong mode, and declared-but-unused clauses (both a
+// covered-but-untouched field and a region that reaches no field).
+package depbad
+
+import (
+	"github.com/bsc-repro/ompss"
+	"github.com/bsc-repro/ompss/internal/memspace"
+)
+
+// Saxpy reads X and read-writes Y.
+type Saxpy struct {
+	X, Y memspace.Region
+	A    byte
+}
+
+func (k Saxpy) Run(store *memspace.Store) {
+	if store == nil {
+		return
+	}
+	x := store.Bytes(k.X)
+	y := store.Bytes(k.Y)
+	for i := range y {
+		y[i] += k.A * x[i]
+	}
+}
+
+// Fill writes R and touches nothing else.
+type Fill struct {
+	R memspace.Region
+	V byte
+}
+
+func (k Fill) Run(store *memspace.Store) {
+	if store == nil {
+		return
+	}
+	b := store.Bytes(k.R)
+	for i := range b {
+		b[i] = k.V
+	}
+}
+
+// Gather reads Src into Dst and never touches Unused.
+type Gather struct {
+	Src, Dst, Unused memspace.Region
+}
+
+func (k Gather) Run(store *memspace.Store) {
+	if store == nil {
+		return
+	}
+	copy(store.Bytes(k.Dst), store.Bytes(k.Src))
+}
+
+func Submit(ctx *ompss.Context, x, y, r, z ompss.Region) {
+	// Shape 1: the body reads X, but no clause covers x.
+	ctx.Task(Saxpy{X: x, Y: y, A: 3}, ompss.InOut(y)) // want "task Saxpy reads x \(field X\) with no covering In/InOut clause"
+
+	// Shape 2: the body writes R, but no clause covers r at all.
+	ctx.Task(Fill{R: r, V: 1}, ompss.Name("fill")) // want "task Fill writes r \(field R\) with no covering Out/InOut clause"
+
+	// Shape 3: wrong mode — r is covered, but In grants no write access.
+	ctx.Task(Fill{R: r, V: 2}, ompss.In(r)) // want "task Fill writes r \(field R\) but the In clause grants no write access"
+
+	// Shape 4a: z reaches field Unused, which the body never touches.
+	ctx.Task(Gather{Src: x, Dst: y, Unused: z}, ompss.In(x), ompss.Out(y), ompss.In(z)) // want "clause In\(z\) covers field Unused that the task body never accesses"
+
+	// Shape 4b: z reaches no Region field of the task at all.
+	ctx.Task(Fill{R: r, V: 3}, ompss.Out(r), ompss.In(z)) // want "clause In\(z\) names a region that reaches no Region field of task Fill"
+
+	// Wrong mode in the read direction: y is written Out but also read.
+	ctx.Task(Saxpy{X: x, Y: y, A: 5}, ompss.In(x), ompss.Out(y)) // want "task Saxpy reads y \(field Y\) but the Out clause grants no read access"
+
+	ctx.TaskWait()
+}

@@ -1,0 +1,63 @@
+// Package depheat is the regression corpus for the heat-stencil halo
+// mis-declaration: a Jacobi row-block task reads one halo row above and
+// below the block it writes, and a submission that declares In only for
+// the interior block under-declares the read set. The scheduler then
+// sees no dependence on the neighbour blocks' producers and can run the
+// stencil against stale halo rows. depverify must flag exactly the two
+// missing halo reads and accept the corrected site.
+package depheat
+
+import (
+	"github.com/bsc-repro/ompss"
+	"github.com/bsc-repro/ompss/internal/memspace"
+)
+
+// JacobiBlock relaxes one row block: it reads the interior rows plus
+// the two halo rows owned by the neighbouring blocks, and writes the
+// next-iteration interior.
+type JacobiBlock struct {
+	Interior memspace.Region // this block's rows, previous iteration
+	HaloUp   memspace.Region // last row of the block above
+	HaloDown memspace.Region // first row of the block below
+	Out      memspace.Region // this block's rows, next iteration
+}
+
+func (k JacobiBlock) Run(store *memspace.Store) {
+	if store == nil {
+		return
+	}
+	in := store.Bytes(k.Interior)
+	up := store.Bytes(k.HaloUp)
+	down := store.Bytes(k.HaloDown)
+	out := store.Bytes(k.Out)
+	w := len(up)
+	for i := range out {
+		var above, below byte
+		if i < w {
+			above = up[i]
+		} else {
+			above = in[i-w]
+		}
+		if i >= len(out)-w {
+			below = down[i-(len(out)-w)]
+		} else {
+			below = in[i+w]
+		}
+		out[i] = (above + below + in[i]) / 3
+	}
+}
+
+// SubmitBad under-declares the halo: the read set is wider than the
+// declared In(inner), exactly the mis-declaration that shipped in the
+// heat app.
+func SubmitBad(ctx *ompss.Context, inner, up, down, next ompss.Region) {
+	ctx.Task(JacobiBlock{Interior: inner, HaloUp: up, HaloDown: down, Out: next}, ompss.In(inner), ompss.Out(next)) // want "task JacobiBlock reads down \(field HaloDown\) with no covering In/InOut clause" "task JacobiBlock reads up \(field HaloUp\) with no covering In/InOut clause"
+	ctx.TaskWait()
+}
+
+// SubmitGood declares the full halo-extended read set.
+func SubmitGood(ctx *ompss.Context, inner, up, down, next ompss.Region) {
+	ctx.Task(JacobiBlock{Interior: inner, HaloUp: up, HaloDown: down, Out: next},
+		ompss.In(inner, up, down), ompss.Out(next))
+	ctx.TaskWait()
+}

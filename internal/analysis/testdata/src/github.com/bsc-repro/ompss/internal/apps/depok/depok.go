@@ -1,0 +1,160 @@
+// Package depok exercises the submission idioms depverify must accept
+// without a single finding: matching modes, []Region spreads, clause
+// slices built with append, Taskloop build functions, TaskBatch specs,
+// nested task bodies, helper and closure aliasing, reductions,
+// pure-synchronization tasks, and a reasoned suppression of a
+// genuinely dynamic site.
+package depok
+
+import (
+	"github.com/bsc-repro/ompss"
+	"github.com/bsc-repro/ompss/internal/memspace"
+)
+
+// f32 is the unsafe-free stand-in for the real view-conversion helper:
+// pure aliasing from parameter to result.
+func f32(b []byte) []byte { return b[0:len(b):len(b)] }
+
+// scale writes dst and reads src through a helper, so summaries must
+// cross one call level.
+func scale(dst, src []byte, f byte) {
+	for i := range dst {
+		dst[i] = src[i] * f
+	}
+}
+
+// Stream reads A and writes C via helper aliasing.
+type Stream struct {
+	A, C memspace.Region
+	F    byte
+}
+
+func (k Stream) Run(store *memspace.Store) {
+	if store == nil {
+		return
+	}
+	scale(f32(store.Bytes(k.C)), f32(store.Bytes(k.A)), k.F)
+}
+
+// Forces reads every block of Prev through a closure over a view
+// container, read-writes Vel and writes Out — the n-body shape.
+type Forces struct {
+	Prev     []memspace.Region
+	Vel, Out memspace.Region
+}
+
+func (k Forces) Run(store *memspace.Store) {
+	if store == nil {
+		return
+	}
+	views := make([][]byte, len(k.Prev))
+	for i, r := range k.Prev {
+		views[i] = f32(store.Bytes(r))
+	}
+	at := func(j int) byte {
+		return views[j%len(views)][0]
+	}
+	vel := store.Bytes(k.Vel)
+	out := store.Bytes(k.Out)
+	for i := range out {
+		vel[i] += at(i)
+		out[i] = vel[i]
+	}
+}
+
+// Tile fills one region; Chunk runs one Tile per region of a slice
+// field — the nested-work shape.
+type Tile struct {
+	R memspace.Region
+}
+
+func (k Tile) Run(store *memspace.Store) {
+	if store == nil {
+		return
+	}
+	b := store.Bytes(k.R)
+	for i := range b {
+		b[i] = 1
+	}
+}
+
+type Chunk struct {
+	Tiles []memspace.Region
+}
+
+func (k Chunk) Run(store *memspace.Store) {
+	for _, t := range k.Tiles {
+		Tile{R: t}.Run(store)
+	}
+}
+
+// Dot accumulates a reduction over Acc while reading X.
+type Dot struct {
+	X, Acc memspace.Region
+}
+
+func (k Dot) Run(store *memspace.Store) {
+	if store == nil {
+		return
+	}
+	x := store.Bytes(k.X)
+	acc := store.Bytes(k.Acc)
+	for i := range x {
+		acc[0] += x[i]
+	}
+}
+
+// Sync touches no region: a pure ordering task.
+type Sync struct{}
+
+func (k Sync) Run(store *memspace.Store) {}
+
+func Submit(ctx *ompss.Context, prev []ompss.Region, x, y, acc, scratch ompss.Region, tiles []ompss.Region) {
+	// Straight declaration.
+	ctx.Task(Stream{A: x, C: y, F: 2}, ompss.In(x), ompss.Out(y))
+
+	// Spread clause over a []Region field, plus a clause slice built
+	// with append and submitted with the spread form.
+	clauses := []ompss.Clause{
+		ompss.Target(ompss.CUDA),
+		ompss.In(prev...), ompss.InOut(y), ompss.Out(x),
+	}
+	clauses = append(clauses, ompss.CopyOut(scratch))
+	ctx.Task(Forces{Prev: prev, Vel: y, Out: x}, clauses...)
+
+	// Work bound to a local first.
+	w := Stream{A: x, C: y, F: 3}
+	ctx.Task(w, ompss.In(x), ompss.Out(y))
+
+	// Nested work over a slice field.
+	ctx.Task(Chunk{Tiles: tiles}, ompss.Out(tiles...))
+
+	// Reduction covers both the read and the write of the accumulator.
+	ctx.Task(Dot{X: x, Acc: acc}, ompss.In(x), ompss.Reduction(acc, func(dst, src []byte) {}))
+
+	// TaskBatch specs.
+	ctx.TaskBatch([]ompss.TaskSpec{
+		{Work: Stream{A: x, C: y, F: 4}, Clauses: []ompss.Clause{ompss.In(x), ompss.Out(y)}},
+		{Work: Tile{R: x}, Clauses: []ompss.Clause{ompss.Out(x)}},
+	})
+
+	// Taskloop build function.
+	ctx.Taskloop(8, 2, func(lo, hi int) (ompss.Work, []ompss.Clause) {
+		return Tile{R: tiles[lo/2]}, []ompss.Clause{ompss.Out(tiles[lo/2])}
+	})
+
+	// A pure-synchronization task: its clauses are ordering constraints,
+	// not data declarations, and must not be flagged as unused.
+	ctx.Task(Sync{}, ompss.In(x), ompss.In(y))
+
+	ctx.TaskWait()
+}
+
+// SubmitDynamic is the escape hatch in action: the work value is an
+// interface parameter, so the analyzer cannot see its body and must
+// degrade to a suppressible cannot-verify instead of guessing.
+func SubmitDynamic(ctx *ompss.Context, work ompss.Work, x ompss.Region) {
+	//ompss:depverify-ok work arrives through a registry validated by its own tests
+	ctx.Task(work, ompss.InOut(x))
+	ctx.TaskWait()
+}

@@ -1,0 +1,101 @@
+// Package lockbad seeds the lock-graph shapes lockorder must flag: a
+// direct AB/BA pair, an interprocedural AB/BA pair hidden behind
+// helper calls, two instances of one sharded lock acquired together,
+// and a three-lock cycle no single pair exposes.
+package lockbad
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+)
+
+// TransferAB and TransferBA acquire the same two locks in opposite
+// orders: the classic deadlock pair.
+func TransferAB() {
+	muA.Lock()
+	defer muA.Unlock()
+	muB.Lock()
+	defer muB.Unlock()
+}
+
+func TransferBA() {
+	muB.Lock()
+	defer muB.Unlock()
+	muA.Lock() // want "inconsistent lock order: lockbad: muA is acquired while lockbad: muB is held"
+	defer muA.Unlock()
+}
+
+var (
+	muC sync.Mutex
+	muD sync.Mutex
+)
+
+func lockD() {
+	muD.Lock()
+	defer muD.Unlock()
+}
+
+func lockC() {
+	muC.Lock()
+	defer muC.Unlock()
+}
+
+// The same pair, one level of calls deep: C→D through lockD, D→C
+// through lockC.
+func NestedCD() {
+	muC.Lock()
+	defer muC.Unlock()
+	lockD()
+}
+
+func NestedDC() {
+	muD.Lock()
+	defer muD.Unlock()
+	lockC() // want "inconsistent lock order: lockbad: muC is acquired while lockbad: muD is held \(via call to lockC\)"
+}
+
+// Shard carries a per-instance lock; locking two instances back to
+// back has no static order.
+type Shard struct {
+	mu sync.Mutex
+	n  int
+}
+
+func MergeShards(a, b *Shard) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want "lock lockbad: a\.mu is acquired while an instance of it is already held"
+	defer b.mu.Unlock()
+	a.n += b.n
+}
+
+var (
+	muX sync.Mutex
+	muY sync.Mutex
+	muZ sync.Mutex
+)
+
+// A three-lock cycle: X→Y, Y→Z, Z→X. No pair inverts, so only the
+// cycle report can catch it.
+func StepXY() {
+	muX.Lock()
+	defer muX.Unlock()
+	muY.Lock() // want "lock-order cycle among \[lockbad: muX lockbad: muY lockbad: muZ\]"
+	defer muY.Unlock()
+}
+
+func StepYZ() {
+	muY.Lock()
+	defer muY.Unlock()
+	muZ.Lock()
+	defer muZ.Unlock()
+}
+
+func StepZX() {
+	muZ.Lock()
+	defer muZ.Unlock()
+	muX.Lock()
+	defer muX.Unlock()
+}

@@ -1,0 +1,80 @@
+// Package lockok exercises the locking idioms lockorder must accept:
+// a consistent global order used from several functions, the
+// unlock-before-relock hand-off helper, goroutine bodies as
+// independent lock contexts, and a reasoned suppression of a
+// deliberate inversion.
+package lockok
+
+import "sync"
+
+var (
+	table sync.RWMutex
+	row   sync.Mutex
+	cond  sync.Mutex
+)
+
+// Everyone acquires table before row: a consistent partial order.
+func ReadThenLock() {
+	table.RLock()
+	defer table.RUnlock()
+	row.Lock()
+	defer row.Unlock()
+}
+
+func WriteThenLock() {
+	table.Lock()
+	row.Lock()
+	row.Unlock()
+	table.Unlock()
+}
+
+// waitHandoff is the `Locked` helper idiom: called with cond held, it
+// releases cond around a callback and re-acquires it before returning.
+// The re-acquisition happens with the lock free, so callers holding
+// cond are not a self-deadlock.
+func waitHandoff(fn func()) {
+	cond.Unlock()
+	fn()
+	cond.Lock()
+}
+
+func WaitForWork() {
+	cond.Lock()
+	defer cond.Unlock()
+	waitHandoff(func() {})
+}
+
+// Spawned goroutines do not inherit the spawner's locks: the closure
+// acquiring row while the spawner holds table is two contexts, not an
+// edge — the goroutine body orders row alone.
+func SpawnWorker(done chan struct{}) {
+	table.Lock()
+	defer table.Unlock()
+	go func() {
+		row.Lock()
+		defer row.Unlock()
+		close(done)
+	}()
+}
+
+var (
+	legacyA sync.Mutex
+	legacyB sync.Mutex
+)
+
+func LegacyAB() {
+	legacyA.Lock()
+	defer legacyA.Unlock()
+	legacyB.Lock()
+	defer legacyB.Unlock()
+}
+
+// LegacyBA inverts the order on purpose (both callers are themselves
+// serialized by an outer section) and documents it with a directive.
+func LegacyBA() {
+	legacyB.Lock()
+	defer legacyB.Unlock()
+	//ompss:lockorder-ok both entry points run under the outer admission lock; the pair can never interleave
+	legacyA.Lock()
+	defer legacyA.Unlock()
+}

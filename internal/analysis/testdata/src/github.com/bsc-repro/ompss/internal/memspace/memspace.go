@@ -1,0 +1,17 @@
+// Package memspace is a type-level stub of the real distributed
+// address space, placed at its real import path so the depverify
+// golden packages can declare Region fields and materialize them
+// through Store.Bytes exactly like real kernels do.
+package memspace
+
+// Region names a [Addr, Addr+Size) byte range of the shared space.
+type Region struct {
+	Addr uint64
+	Size uint64
+}
+
+// Store stubs the node-local backing store.
+type Store struct{}
+
+// Bytes returns the backing bytes of r.
+func (s *Store) Bytes(r Region) []byte { return nil }

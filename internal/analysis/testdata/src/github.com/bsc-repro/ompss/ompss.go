@@ -1,0 +1,75 @@
+// Package ompss is a type-level stub of the public task API, placed at
+// the module's real import path so depverify golden packages submit
+// work through the same Context.Task / TaskBatch / Taskloop entry
+// points and clause constructors the analyzer matches in real code.
+package ompss
+
+import "github.com/bsc-repro/ompss/internal/memspace"
+
+// Region aliases the memspace region, as in the real API.
+type Region = memspace.Region
+
+// Work is the task-body contract the analyzer summarizes.
+type Work interface {
+	Run(store *memspace.Store)
+}
+
+// Clause stubs a directive clause.
+type Clause func()
+
+// Combiner stubs a reduction combiner.
+type Combiner func(dst, src []byte)
+
+// Device stubs a target device class.
+type Device int
+
+// CUDA is a target device class.
+const CUDA Device = 1
+
+// Context stubs the main task context.
+type Context struct{}
+
+// Task submits work under clauses.
+func (c *Context) Task(work Work, clauses ...Clause) {}
+
+// TaskSpec is one batched submission.
+type TaskSpec struct {
+	Work    Work
+	Clauses []Clause
+}
+
+// TaskBatch submits many tasks in one call.
+func (c *Context) TaskBatch(specs []TaskSpec) {}
+
+// Taskloop tiles [0, total) by grain and submits one task per tile.
+func (c *Context) Taskloop(total, grain int, build func(lo, hi int) (Work, []Clause)) {}
+
+// TaskWait blocks until all tasks finish.
+func (c *Context) TaskWait() {}
+
+// NestedCtx stubs the inside-a-task spawning context.
+type NestedCtx struct{}
+
+// Task submits a nested task.
+func (nc *NestedCtx) Task(work Work, clauses ...Clause) {}
+
+// In declares read dependences.
+func In(regions ...Region) Clause { return nil }
+
+// Out declares write dependences.
+func Out(regions ...Region) Clause { return nil }
+
+// InOut declares read-write dependences.
+func InOut(regions ...Region) Clause { return nil }
+
+// Reduction declares a reduction dependence with its combiner.
+func Reduction(r Region, combine Combiner) Clause { return nil }
+
+// Target requests a device class; no dependence is declared.
+func Target(d Device) Clause { return nil }
+
+// Name labels the task; no dependence is declared.
+func Name(s string) Clause { return nil }
+
+// CopyOut forces a device-to-host transfer; no dependence is declared.
+func CopyOut(regions ...Region) Clause { return nil }

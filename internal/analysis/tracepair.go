@@ -122,9 +122,7 @@ func checkTraceSpans(pass *Pass, body *ast.BlockStmt) {
 }
 
 func reportSpan(pass *Pass, begin *ast.CallExpr, format string, args ...interface{}) {
-	if !pass.Suppressed("tracepair-ok", begin.Pos()) {
-		pass.Reportf(begin.Pos(), format+" (or annotate //ompss:tracepair-ok <reason>)", args...)
-	}
+	pass.ReportSuppressible("tracepair-ok", begin.Pos(), format+" (or annotate //ompss:tracepair-ok <reason>)", args...)
 }
 
 // spanUses scans the whole body (including nested literals, where the

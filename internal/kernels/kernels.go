@@ -734,4 +734,8 @@ func (k NBodyInit) Run(store *memspace.Store) {
 	n := int(k.Pos.Size / 16)
 	all := k.InitPos(k.Block0 + n)
 	copy(f32(store.Bytes(k.Pos)), all[4*k.Block0:])
+	// Zero the velocities explicitly rather than relying on the backing
+	// store being freshly allocated: the task declares Out(Vel), so the
+	// body owns every byte of it.
+	clear(store.Bytes(k.Vel))
 }
