@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet fmt build test lint lint-json race bench baseline resilience cover bench-guard stencil stress serve loadtest serve-smoke
+.PHONY: check vet fmt build test lint lint-json race bench baseline resilience cover bench-guard stencil stress serve loadtest serve-smoke weakscale weakscale-smoke
 
 ## check: gofmt + go vet + build + ompss-lint + full test suite (the tier-1 gate)
 check: fmt vet build lint test
@@ -77,12 +77,26 @@ loadtest:
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
+## weakscale: the full weak-scaling grid (8/64/256 nodes, centralized vs
+## sharded managers; tasks/sec and directory-ops/sec in virtual time)
+weakscale:
+	$(GO) run ./cmd/ompss-bench -experiment weakscale
+
+## weakscale-smoke: the required CI gate — quick weakscale grid plus the
+## checksum verify points (Matmul at 8/32 nodes, 1 vs 4 shards); fails on
+## any divergence between centralized and sharded results
+weakscale-smoke:
+	sh scripts/weakscale_smoke.sh
+
 ## stencil: run the heat example (overlapping halo regions) on a simulated
 ## 2-node GPU cluster and verify the checksum against the serial version
 stencil:
 	$(GO) run ./examples/heat -nodes 2 -verify
 
-## cover: full test suite with a coverage profile and per-function summary
+## cover: full test suite with a coverage profile, per-function summary,
+## and a browsable HTML report (coverage.html; CI uploads it as artifact)
 cover:
 	$(GO) test -coverprofile=coverage.out ./...
 	$(GO) tool cover -func=coverage.out | tail -n 1
+	$(GO) tool cover -html=coverage.out -o coverage.html
+	@echo "wrote coverage.html"

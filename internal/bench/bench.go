@@ -139,11 +139,15 @@ func All() []Experiment {
 }
 
 // Extras returns experiments runnable by name but excluded from "all":
-// their values are host wall-clock measurements (tasks/sec), so they can
-// never be golden-compared and would perturb the suite's timing harness.
+// they are not paper figures. stress reports host wall-clock tasks/sec
+// (never golden-comparable, and it would perturb the suite's timing
+// harness); weakscale is deterministic virtual time but probes the
+// manager layer, not a figure, and has its own CI gates
+// (weakscale-smoke, bench_guard).
 func Extras() []Experiment {
 	return []Experiment{
 		{"stress", "Submission stress: host-side tasks/sec on strided million-task graphs", Stress},
+		{"weakscale", "Weak scaling: centralized vs sharded managers, tasks/sec and dirops/sec", Weakscale},
 	}
 }
 

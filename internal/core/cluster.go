@@ -398,6 +398,9 @@ func (rt *Runtime) stageToNodeOnce(p *sim.Proc, r memspace.Region, k int) (ok, s
 	// The consumer needs every known byte of r at node k. Missing returns
 	// the directory fragments not yet held there: one entry equal to r under
 	// exact-match regions, several when writers fragmented the range.
+	// With the manager layer armed this is a blocking query answered by
+	// r's owning shards.
+	rt.mgrChargeQuery(p, 0, r)
 	missing := m.dir.Missing(r, memspace.Host(k))
 	if len(missing) == 0 {
 		return true, true
@@ -470,7 +473,12 @@ func (rt *Runtime) stageFragToNode(p *sim.Proc, frag memspace.Region, k int) (ok
 		id := rt.newXfer(src.Node, k)
 		ack := cl.xferEvents[id]
 		start := p.Now()
-		if !m.ep.AMShort(p, src.Node, amPush, pushArgs{Region: frag, Dest: k, XferID: id}) {
+		// In sharded mode the push request originates from the owning
+		// shard's host — the manager brokering the transfer's metadata —
+		// not from the master. The data still flows slave-to-slave and
+		// the ack still lands on the master (the dispatch coordinator).
+		broker := rt.mgrBrokerEndpoint(frag)
+		if !broker.ep.AMShort(p, src.Node, amPush, pushArgs{Region: frag, Dest: k, XferID: id}) {
 			rt.ackXfer(id)
 			rt.xferFailedTake(id)
 			rt.nodeDead(src.Node, "push")
@@ -598,8 +606,19 @@ func (n *nodeRT) registerSlaveHandlers() {
 	})
 	if n.rt.ft != nil {
 		n.ep.Register(amPing, func(p *sim.Proc, am gasnet.AM) {
-			n.ep.AMProbe(p, 0, amPong, nil)
+			// Reply to whichever manager probed (always the master in the
+			// centralized design; the owning per-shard detector when the
+			// managers are distributed).
+			n.ep.AMProbe(p, am.From, amPong, nil)
 		})
+		if n.rt.mgr != nil && n.rt.mgr.sharded {
+			// Any node can host a manager shard and run a per-shard
+			// failure detector, so every slave can receive pongs.
+			n.ep.Register(amPong, func(p *sim.Proc, am gasnet.AM) {
+				n.rt.ft.pongSince[am.From] = true
+				n.rt.ft.missStreak[am.From] = 0
+			})
+		}
 	}
 	n.ep.Register(amData, func(p *sim.Proc, am gasnet.AM) {
 		// Fresh data arriving at this node's host: it becomes the node's

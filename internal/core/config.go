@@ -127,6 +127,27 @@ type Config struct {
 	// (see internal/faults). Nil leaves every code path bit-identical to a
 	// runtime without the subsystem.
 	Faults *faults.Plan
+
+	// ManagerShards partitions the coherence directory and the dependence
+	// conflict map across this many manager shards (internal/dmgr), each
+	// hosted on a cluster node, with dependence lookups and coherence
+	// queries routed to the owning shard and slave-to-slave transfers
+	// forced on (the owning manager only brokers metadata). 0 and 1 keep
+	// the centralized master bit-identical to before. Sharding never
+	// changes results — bookkeeping transitions are computed exactly as in
+	// the centralized runtime — it changes *where* (and with ManagerOpCost
+	// *when*) directory work happens.
+	ManagerShards int
+
+	// ManagerOpCost, when positive, arms the manager service-time model:
+	// every directory/dependence operation occupies the owning shard's
+	// FCFS serial queue for this long, blocking queries sleep until their
+	// virtual completion (plus network hops when the shard is remote), and
+	// asynchronous updates consume queue capacity. This is what makes one
+	// centralized manager saturate and N shards scale in the weakscale
+	// experiment. 0 (the default) charges nothing and keeps timing
+	// bit-identical to before.
+	ManagerOpCost time.Duration
 }
 
 // withDefaults fills zero values and validates.
@@ -163,6 +184,17 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Lookahead < 0 {
 		panic(fmt.Sprintf("core: negative Lookahead %d", c.Lookahead))
+	}
+	if c.ManagerShards < 0 {
+		panic(fmt.Sprintf("core: negative ManagerShards %d", c.ManagerShards))
+	}
+	if c.ManagerOpCost < 0 {
+		panic(fmt.Sprintf("core: negative ManagerOpCost %v", c.ManagerOpCost))
+	}
+	if c.ManagerShards > 1 {
+		// Distributed managers broker metadata only; the data path is
+		// slave-to-slave by construction.
+		c.SlaveToSlave = true
 	}
 	return c
 }
@@ -223,6 +255,13 @@ type Stats struct {
 	DeadNodes          int     // nodes declared dead
 	TasksReexecuted    int     // tasks re-run on survivors during recovery
 	RecoverySeconds    float64 // virtual time from first death to last rebuild
+
+	// Distributed managers (all zero unless ManagerShards > 1 or
+	// ManagerOpCost > 0).
+	ManagerOps       int // directory/dependence operations served by shards
+	ManagerRemoteOps int // subset served by a shard hosted off the caller's node
+	ManagerFailovers int // shards rehosted after a manager crash
+	ManagerBrokered  int // slave-to-slave pushes brokered by a non-master shard host
 
 	// Metrics is the full registry snapshot the summary fields above were
 	// derived from, in deterministic instrument order.

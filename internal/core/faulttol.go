@@ -141,6 +141,10 @@ func (rt *Runtime) isRecoveryTask(t *task.Task) bool {
 // best-effort control datagram. missThreshold consecutive unanswered
 // probes declare the slave dead.
 func (rt *Runtime) spawnHeartbeat() {
+	if rt.mgr != nil && rt.mgr.sharded {
+		rt.spawnShardedHeartbeat()
+		return
+	}
 	ft := rt.ft
 	m := rt.master()
 	rt.e.Go("heartbeat", func(p *sim.Proc) {
@@ -176,6 +180,82 @@ func (rt *Runtime) spawnHeartbeat() {
 			}
 		}
 	})
+}
+
+// spawnShardedHeartbeat is the distributed-manager failure detector: one
+// probe loop per manager node, each probing only the slaves it monitors.
+// Slave k is monitored by the live manager at position k mod (live
+// managers), except that no node monitors itself — those slaves fall to
+// the master. When a manager dies, its loop exits and the deterministic
+// assignment re-routes its slaves to the survivors at the next round; the
+// per-slave reply/streak state is shared, so a handover never loses an
+// accumulated miss streak.
+func (rt *Runtime) spawnShardedHeartbeat() {
+	ft := rt.ft
+	mgrs := rt.mgr.dmap.ManagerNodes() // includes node 0 (shard 0's host)
+	liveMon := func(k int) int {
+		live := make([]int, 0, len(mgrs))
+		for _, mk := range mgrs {
+			if !ft.dead[mk] {
+				live = append(live, mk)
+			}
+		}
+		mon := live[k%len(live)]
+		if mon == k {
+			mon = 0
+		}
+		return mon
+	}
+	for _, mk := range mgrs {
+		mk := mk
+		rt.e.Go(fmt.Sprintf("heartbeat:%d", mk), func(p *sim.Proc) {
+			me := rt.nodes[mk]
+			awaiting := make([]bool, len(rt.nodes))
+			for {
+				p.Sleep(ft.hbInterval)
+				if rt.master().stopping {
+					return
+				}
+				// A crashed manager's detector loop stops executing with the
+				// node (physical death, from the injector's ground truth —
+				// not the cluster-level ft.dead verdict, which lags by the
+				// detection window): its probes would blackhole and convict
+				// every slave it monitors within the same window its own
+				// death is being detected.
+				if mk != 0 && (ft.dead[mk] || ft.inj.NodeCrashed(mk, p.Now())) {
+					return
+				}
+				for k := 1; k < len(rt.nodes); k++ {
+					if ft.dead[k] {
+						continue
+					}
+					if liveMon(k) != mk {
+						awaiting[k] = false
+						continue
+					}
+					if awaiting[k] {
+						if ft.pongSince[k] {
+							ft.missStreak[k] = 0
+						} else {
+							ft.missStreak[k]++
+							rt.met.hbMisses.Inc()
+							now := p.Now()
+							rt.cfg.Trace.Record(trace.Span{Kind: trace.Heartbeat,
+								Name: fmt.Sprintf("miss:node%d#%d", k, ft.missStreak[k]),
+								Node: mk, Dev: -1, Start: now, End: now})
+							if ft.missStreak[k] >= ft.missThreshold {
+								rt.nodeDead(k, "heartbeat")
+								continue
+							}
+						}
+					}
+					ft.pongSince[k] = false
+					awaiting[k] = true
+					me.ep.AMProbe(p, k, amPing, nil)
+				}
+			}
+		})
+	}
 }
 
 // nodeDead declares slave k failed and recovers: pending transfers
@@ -235,6 +315,10 @@ func (rt *Runtime) nodeDead(k int, reason string) {
 		rt.clSch.Submit(t, -1)
 	}
 	rt.cluster().outstanding[k] = 0
+	// If k hosted manager shards, rehost them on the master before the
+	// data recovery below: the rebuilt directory slices must be owned by
+	// a live manager while the producer chains replay.
+	rt.mgrFailover(now, k)
 	rt.recoverLost(k)
 	m.signalWork()
 }

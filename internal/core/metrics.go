@@ -28,6 +28,14 @@ type rtMetrics struct {
 	hbMisses   *metrics.Counter
 	reexecs    *metrics.Counter
 	deadNodes  *metrics.Counter
+
+	// Distributed managers (internal/dmgr); only move when the manager
+	// layer is armed (ManagerShards > 1 or ManagerOpCost > 0).
+	mgrOps       *metrics.Counter
+	mgrRemoteOps *metrics.Counter
+	mgrFailovers *metrics.Counter
+	mgrBrokered  *metrics.Counter
+	mgrDirMsgs   *metrics.Counter
 }
 
 func newRTMetrics(reg *metrics.Registry) *rtMetrics {
@@ -41,6 +49,12 @@ func newRTMetrics(reg *metrics.Registry) *rtMetrics {
 		hbMisses:   reg.Counter("heartbeat_misses_total"),
 		reexecs:    reg.Counter("tasks_reexecuted_total"),
 		deadNodes:  reg.Counter("nodes_dead_total"),
+
+		mgrOps:       reg.Counter("mgr_ops_total"),
+		mgrRemoteOps: reg.Counter("mgr_ops_total", metrics.L("route", "remote")),
+		mgrFailovers: reg.Counter("mgr_failovers_total"),
+		mgrBrokered:  reg.Counter("mgr_brokered_pushes_total"),
+		mgrDirMsgs:   reg.Counter("mgr_dir_msgs_total"),
 	}
 }
 

@@ -39,8 +39,11 @@ type nodeRT struct {
 	devs      []*gpusim.Device
 	ctxs      []*cuda.Context
 	caches    []*coherence.Cache
-	dir       *coherence.Directory
-	sch       sched.Scheduler
+	// dir is this image's coherence directory: a plain coherence.Directory
+	// everywhere except the sharded master, where New swaps in the
+	// partitioned dmgr.Directory.
+	dir directory
+	sch sched.Scheduler
 	// lookahead is non-nil when Config.Lookahead wrapped sch with a
 	// ready-ahead window; kept for window-depth sampling.
 	lookahead *sched.LookaheadSched
@@ -461,6 +464,13 @@ func (n *nodeRT) produced(r memspace.Region, loc memspace.Location) {
 		}
 	}
 	n.dir.Produced(r, loc)
+	if n.isMaster() && n.rt.mgr != nil {
+		// Every version bump on the master image is a directory update
+		// served asynchronously by the owning shard's queue, issued from
+		// the producing node (the slave notifies the owning manager
+		// directly in the distributed design).
+		n.rt.mgrChargeUpdate(n.rt.e.Now(), loc.Node, r)
+	}
 	for g, c := range n.caches {
 		if c.Location() == loc {
 			continue

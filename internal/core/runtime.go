@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/bsc-repro/ompss/internal/depgraph"
+	"github.com/bsc-repro/ompss/internal/dmgr"
 	"github.com/bsc-repro/ompss/internal/memspace"
 	"github.com/bsc-repro/ompss/internal/metrics"
 	"github.com/bsc-repro/ompss/internal/netsim"
@@ -46,6 +47,10 @@ type Runtime struct {
 	// Config.Faults is set; every fault path is gated on it).
 	ft *ftState
 
+	// mgr is the distributed-manager state (nil unless ManagerShards > 1
+	// or ManagerOpCost > 0; every sharded/charging path is gated on it).
+	mgr *mgrState
+
 	// userErr records the first user-program error (malformed dependence
 	// clauses, missing combiners). The offending task is not submitted;
 	// Run surfaces the error after the engine drains.
@@ -84,10 +89,33 @@ func New(cfg Config) *Runtime {
 		rt.clSch = sched.NewWithHooks(cfg.Scheduler, len(rt.nodes), rt.clusterScore, false,
 			rt.clusterCanRun, schedHooks(cfg.Metrics, "cluster"))
 	}
+	if cfg.ManagerShards > 1 || cfg.ManagerOpCost > 0 {
+		rt.mgr = newMgrState(cfg, rt.met)
+	}
+	if rt.mgr != nil && rt.mgr.sharded {
+		// The master image's directory becomes the partitioned one; the
+		// dependence conflict map splits along the same block ownership.
+		rt.master().dir = rt.mgr.pdir
+		rt.registerDirOpHandlers()
+	}
 	if cfg.Faults != nil {
 		rt.armFaultTolerance()
 	}
-	rt.graph = depgraph.New(rt.onReady)
+	if rt.mgr != nil && rt.mgr.sharded {
+		var spanbuf []dmgr.Span
+		var partbuf []depgraph.PartSpan
+		dmap := rt.mgr.dmap
+		rt.graph = depgraph.NewPartitioned(rt.onReady, dmap.Shards(), func(r memspace.Region) []depgraph.PartSpan {
+			spanbuf = dmap.SpansInto(r, spanbuf)
+			partbuf = partbuf[:0]
+			for _, sp := range spanbuf {
+				partbuf = append(partbuf, depgraph.PartSpan{R: sp.R, Part: sp.Shard})
+			}
+			return partbuf
+		})
+	} else {
+		rt.graph = depgraph.New(rt.onReady)
+	}
 	if cfg.Trace != nil {
 		// Mirror every dependence arc into the trace so the critical-path
 		// analyzer sees the graph the scheduler saw.
@@ -331,6 +359,10 @@ func (mc *MainCtx) Submit(def TaskDef) *task.Task {
 	if !ok {
 		return t
 	}
+	if mc.rt.mgr != nil {
+		one := [1]*task.Task{t}
+		mc.rt.mgrChargeSubmit(mc.p, one[:])
+	}
 	if err := mc.rt.submit(t); err != nil {
 		mc.rt.fail(err)
 	}
@@ -390,6 +422,10 @@ func (mc *MainCtx) SubmitBatch(defs []TaskDef) []*task.Task {
 	// The same per-task creation overhead as sequential submission: batching
 	// amortizes the host's real index work, not the modeled creation cost.
 	mc.p.Sleep(time.Duration(len(defs)) * 3 * time.Microsecond)
+	// With the manager layer armed, the batch's dependence lookups are
+	// served by the owning shards — in parallel across shards, serialized
+	// within one — before any task enters the graph.
+	mc.rt.mgrChargeSubmit(mc.p, valid)
 	if err := mc.rt.submitBatch(valid); err != nil {
 		mc.rt.fail(err)
 	}
@@ -475,6 +511,12 @@ func (rt *Runtime) collectStats() Stats {
 		if rt.ft.haveRecovered {
 			s.RecoverySeconds = (rt.ft.recoverEnd - rt.ft.recoverStart).Seconds()
 		}
+	}
+	if rt.mgr != nil {
+		s.ManagerOps = int(rt.met.mgrOps.Value())
+		s.ManagerRemoteOps = int(rt.met.mgrRemoteOps.Value())
+		s.ManagerFailovers = int(rt.met.mgrFailovers.Value())
+		s.ManagerBrokered = int(rt.met.mgrBrokered.Value())
 	}
 	elapsed := int64(rt.e.Now())
 	for _, n := range rt.nodes {

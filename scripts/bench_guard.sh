@@ -104,6 +104,30 @@ else
     fi
 fi
 
+# Weak-scaling gate: rerun the quick weakscale grid and compare the
+# 64-node sharded tasks/sec row to the recorded baseline, same +/- band.
+# This number is virtual time (deterministic), so drifting out of the
+# band means the manager cost model, span decomposition, or sharded
+# routing genuinely changed — re-record deliberately with 'make baseline'.
+BASE_WS=$(json_num weakscale_64_tasks_per_sec "$BASE")
+WSCALE_OUT=$("$BIN" -experiment weakscale -quick)
+NOW_WS=$(echo "$WSCALE_OUT" | awk '/n=64 sharded/ && !/dirops/ {print $(NF-1)}')
+if [ -z "$NOW_WS" ]; then
+    echo "bench-guard: FAIL: weakscale run reported no 'n=64 sharded' row" >&2
+    STATUS=1
+else
+    WS_DELTA_PCT=$(awk -v now="$NOW_WS" -v base="$BASE_WS" \
+        'BEGIN { printf "%.1f", (now - base) / base * 100 }')
+    echo "bench-guard: weakscale(64,sharded) $NOW_WS tasks/s vs baseline $BASE_WS (${WS_DELTA_PCT}%, tolerance +/-${TOL_PCT}%)"
+    if awk -v d="$WS_DELTA_PCT" -v tol="$TOL_PCT" \
+        'BEGIN { exit (d <= tol && d >= -tol) ? 0 : 1 }'; then
+        :
+    else
+        echo "bench-guard: FAIL: weakscale throughput outside the +/-${TOL_PCT}% band" >&2
+        STATUS=1
+    fi
+fi
+
 # Serving-layer gate: rerun the canonical load test (same shape the
 # baseline recorded) and compare warm-cache requests/sec, same +/- band.
 # The selftest itself fails on request errors or a warm hit rate below

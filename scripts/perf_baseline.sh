@@ -57,6 +57,17 @@ if [ -z "$STRESS_TPS" ]; then
     exit 1
 fi
 
+# Weak-scaling manager layer: virtual-time tasks/sec of the 64-node
+# sharded row of the quick weakscale grid. Deterministic (simulated
+# time, not host time), so a drift here means the manager cost model or
+# the sharded routing changed — bench_guard.sh gates future runs on it.
+WSCALE_OUT=$("$BIN" -experiment weakscale -quick)
+WSCALE_TPS=$(echo "$WSCALE_OUT" | awk '/n=64 sharded/ && !/dirops/ {print $(NF-1)}')
+if [ -z "$WSCALE_TPS" ]; then
+    echo "perf-baseline: weakscale run reported no 'n=64 sharded' row" >&2
+    exit 1
+fi
+
 # Resident serving layer: the canonical load test (scripts/load_test.sh
 # defaults — 1000 clients x 5 requests over 8 distinct configs, warm
 # burst against a seeded cache). Records the warm-cache requests/sec;
@@ -83,10 +94,11 @@ cat > BENCH_harness.json <<EOF
   "armed_zero_fault_overhead_pct": $ARMED_OVERHEAD_PCT,
   "armed_overhead_budget_pct": 2.0,
   "stress_quick_tasks_per_sec": $STRESS_TPS,
+  "weakscale_64_tasks_per_sec": $WSCALE_TPS,
   "serve_load": "1000 clients x 5 requests, 8 distinct configs",
   "serve_warm_rps": $SERVE_RPS,
   "serve_warm_hit_rate": $SERVE_HIT
 }
 EOF
 
-echo "serial ${SERIAL_MS}ms, parallel(${PARALLEL_WORKERS} workers) ${PARALLEL_MS}ms, resilience ${RES_MS}ms (armed overhead ${ARMED_OVERHEAD_PCT}%), stress ${STRESS_TPS} tasks/s, serve ${SERVE_RPS} warm req/s (hit rate ${SERVE_HIT}) -> BENCH_harness.json"
+echo "serial ${SERIAL_MS}ms, parallel(${PARALLEL_WORKERS} workers) ${PARALLEL_MS}ms, resilience ${RES_MS}ms (armed overhead ${ARMED_OVERHEAD_PCT}%), stress ${STRESS_TPS} tasks/s, weakscale(64,sharded) ${WSCALE_TPS} tasks/s, serve ${SERVE_RPS} warm req/s (hit rate ${SERVE_HIT}) -> BENCH_harness.json"

@@ -1,0 +1,50 @@
+#!/bin/sh
+# weakscale_smoke.sh — the required CI gate on the sharded manager layer.
+#
+# Runs the quick weak-scaling experiment, whose first rows are the
+# correctness gate: the validated cluster Matmul at 8 and 32 nodes run
+# centralized (1 manager shard) and sharded (4 shards), compared by
+# result checksum inside the experiment. Any divergence makes the bench
+# binary exit nonzero before printing the verify row; this script
+# additionally asserts both verify rows were printed and scored ok, so a
+# silently skipped gate also fails.
+#
+# The throughput rows that follow are printed for the log but not gated
+# here — scripts/bench_guard.sh owns the tasks/sec band.
+#
+# Strictly POSIX sh. Usage: sh scripts/weakscale_smoke.sh
+set -e
+
+cd "$(dirname "$0")/.."
+BIN=$(mktemp /tmp/ompss-bench.XXXXXX)
+OUT=$(mktemp /tmp/ompss-weakscale.XXXXXX)
+trap 'rm -f "$BIN" "$OUT"' EXIT
+
+go build -o "$BIN" ./cmd/ompss-bench
+
+if ! "$BIN" -experiment weakscale -quick > "$OUT" 2>&1; then
+    echo "weakscale-smoke: FAIL: weakscale run exited nonzero (checksum divergence?)" >&2
+    cat "$OUT" >&2
+    exit 1
+fi
+cat "$OUT"
+
+STATUS=0
+for pt in "verify n=8 shards 1 vs 4" "verify n=32 shards 1 vs 4"; do
+    if ! grep "$pt" "$OUT" | grep -q " ok$"; then
+        echo "weakscale-smoke: FAIL: missing or not-ok row: $pt" >&2
+        STATUS=1
+    fi
+done
+
+# The smoke also proves both manager modes actually ran to completion at
+# both quick scales: every centralized/sharded throughput row must exist.
+for row in "n=8 centralized" "n=8 sharded" "n=64 centralized" "n=64 sharded"; do
+    if ! grep "$row " "$OUT" | grep -qv dirops; then
+        echo "weakscale-smoke: FAIL: missing throughput row: $row" >&2
+        STATUS=1
+    fi
+done
+
+[ "$STATUS" -eq 0 ] && echo "weakscale-smoke: OK"
+exit $STATUS
