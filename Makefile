@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet fmt build test lint lint-json race bench baseline resilience cover bench-guard stencil stress serve loadtest serve-smoke weakscale weakscale-smoke
+.PHONY: check vet fmt build test lint lint-json race bench baseline resilience cover bench-guard stencil stress serve loadtest serve-smoke weakscale weakscale-smoke powercap
 
 ## check: gofmt + go vet + build + ompss-lint + full test suite (the tier-1 gate)
 check: fmt vet build lint test
@@ -87,6 +87,14 @@ weakscale:
 ## any divergence between centralized and sharded results
 weakscale-smoke:
 	sh scripts/weakscale_smoke.sh
+
+## powercap: the power-capped heterogeneous frontier at quick sizes — the
+## CI smoke. Mixed GTX480+Tesla cluster, bf/default/affinity/heft at a
+## descending cap ladder; the built-in verify row fails the run if a
+## capped checksum diverges from uncapped or the recorded peak exceeds
+## the cap
+powercap:
+	$(GO) run ./cmd/ompss-bench -experiment powercap -quick
 
 ## stencil: run the heat example (overlapping halo regions) on a simulated
 ## 2-node GPU cluster and verify the checksum against the serial version

@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run (fig5..fig13, table1, stress, weakscale, all)")
+		experiment = flag.String("experiment", "all", "experiment to run (fig5..fig13, table1, stress, weakscale, powercap, all)")
 		quick      = flag.Bool("quick", false, "reduced problem sizes (seconds instead of minutes)")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		csvPath    = flag.String("csv", "", "also write all rows to this CSV file")

@@ -148,6 +148,7 @@ func Extras() []Experiment {
 	return []Experiment{
 		{"stress", "Submission stress: host-side tasks/sec on strided million-task graphs", Stress},
 		{"weakscale", "Weak scaling: centralized vs sharded managers, tasks/sec and dirops/sec", Weakscale},
+		{"powercap", "Power-capped mixed cluster: time-vs-cap frontier, bf/default/affinity/heft", Powercap},
 	}
 }
 

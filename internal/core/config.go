@@ -139,6 +139,17 @@ type Config struct {
 	// *when*) directory work happens.
 	ManagerShards int
 
+	// PowerCapWatts, when positive, arms the cluster power governor: the
+	// modeled draw (every node's and GPU's idle watts, plus each GPU's
+	// busy-minus-idle delta while a kernel runs) is never allowed to
+	// exceed the cap. A kernel launch that would cross it is deferred
+	// until running kernels retire, so the cap trades time for power
+	// without changing results. Must leave headroom for at least one
+	// kernel: cap >= cluster idle + the largest single-GPU delta. 0 (the
+	// default) disables throttling; the governor still meters draw and
+	// energy either way.
+	PowerCapWatts float64
+
 	// ManagerOpCost, when positive, arms the manager service-time model:
 	// every directory/dependence operation occupies the owning shard's
 	// FCFS serial queue for this long, blocking queries sleep until their
@@ -176,8 +187,27 @@ func (c Config) withDefaults() Config {
 	if c.Metrics == nil {
 		c.Metrics = metrics.New()
 	}
-	if len(c.Cluster.Nodes) == 0 {
-		panic("core: Config.Cluster has no nodes")
+	if err := c.Cluster.Validate(); err != nil {
+		panic("core: invalid Config.Cluster: " + err.Error())
+	}
+	if c.PowerCapWatts < 0 {
+		panic(fmt.Sprintf("core: negative PowerCapWatts %g", c.PowerCapWatts))
+	}
+	if c.PowerCapWatts > 0 {
+		// The cap must admit at least the hungriest single kernel on top of
+		// the idle baseline, or that kernel could never launch.
+		var maxDelta float64
+		for _, nd := range c.Cluster.Nodes {
+			for _, g := range nd.GPUs {
+				if d := g.Power.Delta(); d > maxDelta {
+					maxDelta = d
+				}
+			}
+		}
+		if floor := c.Cluster.IdleWatts() + maxDelta; c.PowerCapWatts < floor {
+			panic(fmt.Sprintf("core: PowerCapWatts %g below the feasible floor %g W (cluster idle %g W + largest kernel delta %g W)",
+				c.PowerCapWatts, floor, c.Cluster.IdleWatts(), maxDelta))
+		}
 	}
 	if c.Presend < 0 {
 		panic(fmt.Sprintf("core: negative Presend %d", c.Presend))
@@ -243,6 +273,12 @@ type Stats struct {
 
 	// KernelBusySeconds sums kernel engine busy time across GPUs.
 	KernelBusySeconds float64
+
+	// Power model (metered on every run; throttles only move when
+	// Config.PowerCapWatts is set).
+	PowerPeakWatts float64 // high-water modeled cluster draw
+	EnergyJoules   float64 // idle baseline + per-kernel busy deltas
+	PowerThrottles int     // kernel launches deferred by the governor
 
 	// TasksPerNode counts tasks executed on each node (SMP + CUDA).
 	TasksPerNode []int

@@ -120,7 +120,7 @@ func newNodeRT(rt *Runtime, id int, spec hw.NodeSpec) *nodeRT {
 	}
 	n.places = 1 + len(spec.GPUs)
 	scope := "node" + strconv.Itoa(id)
-	n.sch = sched.NewWithHooks(rt.cfg.Scheduler, n.places, n.affinityScore, rt.cfg.Steal, n.canRun,
+	n.sch = sched.NewWithHooks(rt.cfg.Scheduler, n.places, n.affinityScore, n.costModel(), rt.cfg.Steal, n.canRun,
 		schedHooks(rt.cfg.Metrics, scope))
 	if rt.cfg.Lookahead > 1 {
 		n.sch = sched.Lookahead(n.sch, rt.cfg.Lookahead, lookaheadHooks(rt.cfg.Metrics, scope))
@@ -327,6 +327,10 @@ func (n *nodeRT) gpuManagerLoop(p *sim.Proc, g int) {
 		dev := n.devs[g]
 		work := t.Work
 		cost := n.jitter(t.ID, work.GPUCost(dev.Spec()))
+		// Claim this kernel's power delta before launching; under a cap the
+		// claim may defer the launch until running kernels retire.
+		powerDelta := n.spec.GPUs[g].Power.Delta()
+		n.rt.gov.acquire(p, t.Name, n.id, g, powerDelta)
 		kernelStart := p.Now()
 		kernel := n.rt.cfg.Trace.Begin(trace.TaskRun, t.Name, n.id, g, kernelStart)
 		kernelDone := dev.LaunchAsync(t.Name, cost, func(devStore *memspace.Store) {
@@ -350,6 +354,7 @@ func (n *nodeRT) gpuManagerLoop(p *sim.Proc, g int) {
 			}
 		}
 		kernelDone.Wait(p)
+		n.rt.gov.release(powerDelta)
 		kernel.EndTask(p.Now(), int64(t.ID))
 		n.met.taskRunNS.Observe(sim.Duration(p.Now() - kernelStart))
 		n.publishGPUTask(p, g, t)

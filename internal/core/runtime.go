@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"time"
 
@@ -28,6 +29,13 @@ type Runtime struct {
 	pending  int
 	idleEvt  *sim.Event
 	taskDone map[task.ID]*sim.Event
+
+	// rankMemo caches upward ranks for the HEFT cost model (costmodel.go).
+	rankMemo map[task.ID]time.Duration
+
+	// gov is the cluster power governor: always metering, throttling only
+	// when Config.PowerCapWatts is set (power.go).
+	gov *powerGov
 
 	// releasePlace is the place whose finishing task is currently being
 	// retired; the graph's onReady callback reads it to tag released
@@ -75,9 +83,15 @@ func New(cfg Config) *Runtime {
 		cfg:          cfg,
 		alloc:        memspace.NewAllocator(),
 		taskDone:     make(map[task.ID]*sim.Event),
+		rankMemo:     make(map[task.ID]time.Duration),
 		releasePlace: -1,
 		met:          newRTMetrics(cfg.Metrics),
 	}
+	capW := cfg.PowerCapWatts
+	if capW <= 0 {
+		capW = math.Inf(1)
+	}
+	rt.gov = newPowerGov(rt, capW)
 	rt.fabric = netsim.New(e, cfg.Cluster.Net, len(cfg.Cluster.Nodes))
 	for i, spec := range cfg.Cluster.Nodes {
 		rt.nodes = append(rt.nodes, newNodeRT(rt, i, spec))
@@ -86,7 +100,7 @@ func New(cfg Config) *Runtime {
 		// No work stealing between node queues at the cluster level: the
 		// paper's runtime does not steal between slave nodes (III.D.1), and
 		// cluster-level steals would migrate a task's data with it.
-		rt.clSch = sched.NewWithHooks(cfg.Scheduler, len(rt.nodes), rt.clusterScore, false,
+		rt.clSch = sched.NewWithHooks(cfg.Scheduler, len(rt.nodes), rt.clusterScore, rt.clusterCostModel(), false,
 			rt.clusterCanRun, schedHooks(cfg.Metrics, "cluster"))
 	}
 	if cfg.ManagerShards > 1 || cfg.ManagerOpCost > 0 {
@@ -518,6 +532,12 @@ func (rt *Runtime) collectStats() Stats {
 		s.ManagerFailovers = int(rt.met.mgrFailovers.Value())
 		s.ManagerBrokered = int(rt.met.mgrBrokered.Value())
 	}
+	// Energy under the two-level power model: the whole cluster idles for
+	// the whole run, and each kernel adds its device's busy delta for its
+	// duration. Pure arithmetic over already-collected busy counters.
+	s.EnergyJoules = rt.cfg.Cluster.IdleWatts() * s.ElapsedSeconds
+	s.PowerPeakWatts = rt.gov.PeakWatts()
+	s.PowerThrottles = int(rt.gov.throttles.Value())
 	elapsed := int64(rt.e.Now())
 	for _, n := range rt.nodes {
 		nodeTasks := int(n.met.tasksSMP.Value() + n.met.tasksCUDA.Value())
@@ -531,6 +551,7 @@ func (rt *Runtime) collectStats() Stats {
 			s.XfersH2D += ds.XfersH2D
 			s.XfersD2H += ds.XfersD2H
 			s.KernelBusySeconds += ds.KernelBusy.Seconds()
+			s.EnergyJoules += n.spec.GPUs[g].Power.Delta() * ds.KernelBusy.Seconds()
 			// Derived per-device time split: busy running kernels, stalled
 			// on DMA, idle otherwise (gauges, recomputed at each collect).
 			ls := []metrics.Label{metrics.L("node", strconv.Itoa(n.id)), metrics.L("gpu", strconv.Itoa(g))}

@@ -29,6 +29,7 @@ func testGPU(memBytes uint64) hw.GPUSpec {
 		PCIeBandwidth:        5e9,
 		PCIeLatency:          10 * time.Microsecond,
 		PinnedCopyBandwidth:  10e9,
+		Power:                hw.PowerDraw{IdleWatts: 30, BusyWatts: 200},
 	}
 }
 
@@ -43,6 +44,7 @@ func testNode(gpus int, memBytes uint64) hw.NodeSpec {
 		CPUFlops:         5e9,
 		HostMemBandwidth: 10e9,
 		HostMemBytes:     1 << 34,
+		HostPower:        hw.PowerDraw{IdleWatts: 100, BusyWatts: 220},
 		GPUs:             specs,
 	}
 }

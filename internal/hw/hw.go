@@ -5,7 +5,34 @@
 // 480-class GPU each, connected by QDR InfiniBand.
 package hw
 
-import "time"
+import (
+	"fmt"
+	"time"
+)
+
+// PowerDraw is the electrical draw of one component: the baseline it
+// consumes whenever the machine is on, and the draw while it executes.
+// The power governor (core.Config.PowerCapWatts) schedules against the
+// busy-minus-idle delta of each kernel launch.
+type PowerDraw struct {
+	// IdleWatts is the draw of the powered-on, idle component.
+	IdleWatts float64
+	// BusyWatts is the draw under full load. Must be >= IdleWatts.
+	BusyWatts float64
+}
+
+// Delta returns the extra watts the component draws when busy.
+func (p PowerDraw) Delta() float64 { return p.BusyWatts - p.IdleWatts }
+
+func (p PowerDraw) validate(what string) error {
+	if p.IdleWatts <= 0 {
+		return fmt.Errorf("hw: %s has non-positive idle power %.1f W", what, p.IdleWatts)
+	}
+	if p.BusyWatts < p.IdleWatts {
+		return fmt.Errorf("hw: %s busy power %.1f W below idle %.1f W", what, p.BusyWatts, p.IdleWatts)
+	}
+	return nil
+}
 
 // GPUSpec describes one GPU device for the roofline cost model.
 type GPUSpec struct {
@@ -29,6 +56,8 @@ type GPUSpec struct {
 	// PinnedCopyBandwidth is the host memcpy bandwidth used when staging
 	// user memory into page-locked buffers for async transfers.
 	PinnedCopyBandwidth float64
+	// Power is the device's electrical draw (idle baseline and busy load).
+	Power PowerDraw
 }
 
 // EffectiveFlops returns the derated compute rate.
@@ -45,6 +74,8 @@ type NodeSpec struct {
 	HostMemBandwidth float64
 	HostMemBytes     uint64
 	GPUs             []GPUSpec
+	// HostPower is the node's draw excluding its GPUs (CPUs, memory, fans).
+	HostPower PowerDraw
 }
 
 // NetSpec describes the cluster interconnect.
@@ -75,6 +106,77 @@ func (c ClusterSpec) TotalGPUs() int {
 	return n
 }
 
+// IdleWatts returns the cluster's baseline draw: every node's host power
+// plus every GPU's idle power.
+func (c ClusterSpec) IdleWatts() float64 {
+	var w float64
+	for _, nd := range c.Nodes {
+		w += nd.HostPower.IdleWatts
+		for _, g := range nd.GPUs {
+			w += g.Power.IdleWatts
+		}
+	}
+	return w
+}
+
+// Validate rejects spec values the cost models cannot price: zero or
+// negative bandwidths and latencies turn into Inf/NaN durations inside
+// gpusim.KernelCost/TransferCost, zero capacities make every working set
+// overflow, and non-positive power draws break the power governor's
+// accounting. Errors name the offending node/GPU.
+func (c ClusterSpec) Validate() error {
+	if len(c.Nodes) == 0 {
+		return fmt.Errorf("hw: cluster %q has no nodes", c.Name)
+	}
+	if c.Net.Bandwidth <= 0 {
+		return fmt.Errorf("hw: cluster %q net %q has non-positive bandwidth %g B/s", c.Name, c.Net.Name, c.Net.Bandwidth)
+	}
+	if c.Net.Latency < 0 || c.Net.PerMessageOverhead < 0 {
+		return fmt.Errorf("hw: cluster %q net %q has negative latency/overhead", c.Name, c.Net.Name)
+	}
+	for i, nd := range c.Nodes {
+		what := fmt.Sprintf("node %d (%s)", i, nd.Name)
+		if nd.CPUCores <= 0 {
+			return fmt.Errorf("hw: %s has no CPU cores", what)
+		}
+		if nd.CPUFlops <= 0 {
+			return fmt.Errorf("hw: %s has non-positive CPU rate %g FLOP/s", what, nd.CPUFlops)
+		}
+		if nd.HostMemBandwidth <= 0 {
+			return fmt.Errorf("hw: %s has non-positive host memory bandwidth %g B/s", what, nd.HostMemBandwidth)
+		}
+		if nd.HostMemBytes == 0 {
+			return fmt.Errorf("hw: %s has zero host memory", what)
+		}
+		if err := nd.HostPower.validate(what + " host"); err != nil {
+			return err
+		}
+		for g, gs := range nd.GPUs {
+			gwhat := fmt.Sprintf("node %d GPU %d (%s)", i, g, gs.Name)
+			switch {
+			case gs.PeakSPFlops <= 0:
+				return fmt.Errorf("hw: %s has non-positive peak rate %g FLOP/s", gwhat, gs.PeakSPFlops)
+			case gs.KernelEfficiency <= 0 || gs.KernelEfficiency > 1:
+				return fmt.Errorf("hw: %s has kernel efficiency %g outside (0,1]", gwhat, gs.KernelEfficiency)
+			case gs.MemBandwidth <= 0:
+				return fmt.Errorf("hw: %s has non-positive memory bandwidth %g B/s", gwhat, gs.MemBandwidth)
+			case gs.MemBytes == 0:
+				return fmt.Errorf("hw: %s has zero device memory", gwhat)
+			case gs.PCIeBandwidth <= 0:
+				return fmt.Errorf("hw: %s has non-positive PCIe bandwidth %g B/s", gwhat, gs.PCIeBandwidth)
+			case gs.PinnedCopyBandwidth <= 0:
+				return fmt.Errorf("hw: %s has non-positive pinned-copy bandwidth %g B/s", gwhat, gs.PinnedCopyBandwidth)
+			case gs.KernelLaunchOverhead < 0 || gs.PCIeLatency < 0:
+				return fmt.Errorf("hw: %s has negative launch overhead or PCIe latency", gwhat)
+			}
+			if err := gs.Power.validate(gwhat); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // TeslaS2050 returns the GPU spec of the multi-GPU system's devices:
 // Tesla S2050, 2.62 GB visible memory, ~1.03 TFLOPS SP peak, 148 GB/s.
 func TeslaS2050() GPUSpec {
@@ -88,6 +190,8 @@ func TeslaS2050() GPUSpec {
 		PCIeBandwidth:        5.6e9, // PCIe 2.0 x16 effective
 		PCIeLatency:          12 * time.Microsecond,
 		PinnedCopyBandwidth:  6.0e9,
+		// Fermi S2050 module: 225 W TDP, ~40 W idling at the driver.
+		Power: PowerDraw{IdleWatts: 40, BusyWatts: 225},
 	}
 }
 
@@ -104,6 +208,8 @@ func GTX480() GPUSpec {
 		PCIeBandwidth:        5.6e9,
 		PCIeLatency:          12 * time.Microsecond,
 		PinnedCopyBandwidth:  6.0e9,
+		// GeForce GTX 480: 250 W TDP, ~47 W idle (consumer Fermi runs hot).
+		Power: PowerDraw{IdleWatts: 47, BusyWatts: 250},
 	}
 }
 
@@ -125,6 +231,8 @@ func MultiGPUNode(numGPUs int) NodeSpec {
 		HostMemBandwidth: 148e9 / 8, // per-core share of the paper's 148 GB/s peak
 		HostMemBytes:     15660 << 20,
 		GPUs:             gpus,
+		// Two 80 W Xeon E5440 plus board/memory/fans.
+		HostPower: PowerDraw{IdleWatts: 120, BusyWatts: 260},
 	}
 }
 
@@ -138,7 +246,19 @@ func ClusterNode() NodeSpec {
 		HostMemBandwidth: 20e9,
 		HostMemBytes:     25 << 30,
 		GPUs:             []GPUSpec{GTX480()},
+		// Two 80 W Xeon E5620 plus board/memory/fans.
+		HostPower: PowerDraw{IdleWatts: 110, BusyWatts: 250},
 	}
+}
+
+// TeslaClusterNode returns a cluster node carrying one Tesla S2050-class
+// GPU instead of the GTX 480 — the older half of the mixed-generation
+// cluster the heterogeneity experiments schedule over.
+func TeslaClusterNode() NodeSpec {
+	n := ClusterNode()
+	n.Name = "cluster-node-tesla"
+	n.GPUs = []GPUSpec{TeslaS2050()}
+	return n
 }
 
 // QDRInfiniband returns the paper's interconnect: "QDR Infiniband network
@@ -173,4 +293,23 @@ func GPUCluster(numNodes int) ClusterSpec {
 		nodes[i] = ClusterNode()
 	}
 	return ClusterSpec{Name: "GPU cluster", Nodes: nodes, Net: QDRInfiniband()}
+}
+
+// MixedGPUCluster returns a heterogeneous cluster: gtx nodes carrying one
+// GTX 480 each followed by tesla nodes carrying one Tesla S2050 each, on
+// QDR InfiniBand. The GTX 480 is ~27% faster on compute-bound kernels, so
+// a cost-model scheduler (heft) has real generation gaps to exploit where
+// a locality-only policy sees identical places.
+func MixedGPUCluster(gtx, tesla int) ClusterSpec {
+	if gtx < 0 || tesla < 0 || gtx+tesla < 1 {
+		panic("hw: MixedGPUCluster needs at least one node")
+	}
+	var nodes []NodeSpec
+	for i := 0; i < gtx; i++ {
+		nodes = append(nodes, ClusterNode())
+	}
+	for i := 0; i < tesla; i++ {
+		nodes = append(nodes, TeslaClusterNode())
+	}
+	return ClusterSpec{Name: "mixed GPU cluster", Nodes: nodes, Net: QDRInfiniband()}
 }

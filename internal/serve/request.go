@@ -68,7 +68,7 @@ type Request struct {
 	FaultPlan *FaultPlanSpec `json:"fault_plan,omitempty"`
 
 	// Scheduler overrides the scheduler of the cluster experiments
-	// ("bf", "default"/"dependencies", "affinity"). The multi-GPU
+	// ("bf", "default"/"dependencies", "affinity", "heft"). The multi-GPU
 	// figures sweep the scheduler as part of their grid; use grid_point.
 	Scheduler string `json:"scheduler,omitempty"`
 
@@ -149,9 +149,9 @@ func (r Request) Validate() error {
 	}
 	cluster := clusterExperiments[r.Experiment]
 	switch r.Scheduler {
-	case "", "bf", "default", "dependencies", "affinity":
+	case "", "bf", "default", "dependencies", "affinity", "heft":
 	default:
-		return fmt.Errorf("unknown scheduler %q (bf, default, affinity)", r.Scheduler)
+		return fmt.Errorf("unknown scheduler %q (bf, default, affinity, heft)", r.Scheduler)
 	}
 	if r.Scheduler != "" && !cluster {
 		return fmt.Errorf("scheduler override applies only to cluster experiments (fig9-13, heat); %s sweeps or pins its own", r.Experiment)
@@ -280,7 +280,9 @@ func (r Request) canonical() []byte {
 // floats hash equal iff they are the same value — no decimal rounding.
 func canonFloat(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
 
-// canonSched normalizes the "default" alias to its policy name.
+// canonSched normalizes the "default" alias to its policy name. Every
+// other policy (including "heft") is already canonical and passes
+// through unchanged, so no two distinct policies ever share a cache key.
 func canonSched(s string) string {
 	if s == "default" {
 		return "dependencies"

@@ -50,6 +50,13 @@ func TestHashSchedulerAlias(t *testing.T) {
 	if def.Hash() == bf.Hash() {
 		t.Fatalf("different scheduler hashed equal")
 	}
+	// heft is canonical on its own: it must alias nothing.
+	heft := parse(t, `{"experiment":"heat","scheduler":"heft"}`)
+	for _, other := range []Request{def, dep, bf} {
+		if heft.Hash() == other.Hash() {
+			t.Fatalf("heft aliased scheduler %q in the cache key", other.Scheduler)
+		}
+	}
 }
 
 // TestHashDistinguishesRuns: every knob that changes what the simulator

@@ -36,6 +36,9 @@ const (
 	// Recovery is fault-recovery work: a node declared dead, or a lost
 	// region rebuilt by re-running its producer chain.
 	Recovery
+	// Throttle is a kernel launch deferred by the power governor: the span
+	// covers the wait until enough headroom under Config.PowerCapWatts.
+	Throttle
 )
 
 func (k Kind) String() string {
@@ -56,6 +59,8 @@ func (k Kind) String() string {
 		return "heartbeat"
 	case Recovery:
 		return "recovery"
+	case Throttle:
+		return "throttle"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -68,7 +73,7 @@ func (k Kind) paraverState() int {
 	switch k {
 	case TaskRun:
 		return 1 // running
-	case Stage, Heartbeat:
+	case Stage, Heartbeat, Throttle:
 		return 7 // scheduling/overhead
 	case Recovery:
 		return 5 // synchronization / fault handling

@@ -71,6 +71,10 @@ const (
 	Dependencies = sched.Dependencies
 	// Affinity is the locality-aware scheduler.
 	Affinity = sched.Affinity
+	// HEFT ranks tasks by upward rank and binds each to its
+	// earliest-finish place using the per-device cost model — the policy
+	// built for mixed-generation (heterogeneous) clusters.
+	HEFT = sched.HEFT
 )
 
 // Cache write policies (Config.CachePolicy).
@@ -119,6 +123,9 @@ var (
 	MultiGPUSystem = hw.MultiGPUSystem
 	// GPUCluster returns n single-GPU (GTX 480-class) nodes on QDR InfiniBand.
 	GPUCluster = hw.GPUCluster
+	// MixedGPUCluster returns a heterogeneous cluster: gtx GTX 480-class
+	// nodes followed by tesla Tesla S2050-class nodes on QDR InfiniBand.
+	MixedGPUCluster = hw.MixedGPUCluster
 )
 
 // Runtime is a configured OmpSs runtime over a simulated machine.

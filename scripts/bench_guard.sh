@@ -128,6 +128,31 @@ else
     fi
 fi
 
+# Power-cap gate: rerun the quick powercap frontier and compare the
+# uncapped heft tasks/sec row to the recorded baseline, same +/- band.
+# Virtual time again (deterministic): drifting out means the per-device
+# cost model, HEFT place binding, or the mixed presets changed — and the
+# experiment's own verify row already failed the run if a capped checksum
+# diverged. Re-record deliberately with 'make baseline'.
+BASE_PC=$(json_num powercap_heft_tasks_per_sec "$BASE")
+POWERCAP_OUT=$("$BIN" -experiment powercap -quick)
+NOW_PC=$(echo "$POWERCAP_OUT" | awk '/heft uncapped throughput/ {print $(NF-1)}')
+if [ -z "$NOW_PC" ]; then
+    echo "bench-guard: FAIL: powercap run reported no 'heft uncapped throughput' row" >&2
+    STATUS=1
+else
+    PC_DELTA_PCT=$(awk -v now="$NOW_PC" -v base="$BASE_PC" \
+        'BEGIN { printf "%.1f", (now - base) / base * 100 }')
+    echo "bench-guard: powercap(heft,uncapped) $NOW_PC tasks/s vs baseline $BASE_PC (${PC_DELTA_PCT}%, tolerance +/-${TOL_PCT}%)"
+    if awk -v d="$PC_DELTA_PCT" -v tol="$TOL_PCT" \
+        'BEGIN { exit (d <= tol && d >= -tol) ? 0 : 1 }'; then
+        :
+    else
+        echo "bench-guard: FAIL: powercap throughput outside the +/-${TOL_PCT}% band" >&2
+        STATUS=1
+    fi
+fi
+
 # Serving-layer gate: rerun the canonical load test (same shape the
 # baseline recorded) and compare warm-cache requests/sec, same +/- band.
 # The selftest itself fails on request errors or a warm hit rate below

@@ -68,6 +68,17 @@ if [ -z "$WSCALE_TPS" ]; then
     exit 1
 fi
 
+# Power-capped heterogeneous frontier: virtual-time tasks/sec of the
+# uncapped heft Matmul on the mixed GTX480+Tesla cluster. Deterministic
+# (simulated time), so a drift means the cost model, HEFT binding, or the
+# mixed-cluster presets changed — bench_guard.sh gates future runs on it.
+POWERCAP_OUT=$("$BIN" -experiment powercap -quick)
+POWERCAP_TPS=$(echo "$POWERCAP_OUT" | awk '/heft uncapped throughput/ {print $(NF-1)}')
+if [ -z "$POWERCAP_TPS" ]; then
+    echo "perf-baseline: powercap run reported no 'heft uncapped throughput' row" >&2
+    exit 1
+fi
+
 # Resident serving layer: the canonical load test (scripts/load_test.sh
 # defaults — 1000 clients x 5 requests over 8 distinct configs, warm
 # burst against a seeded cache). Records the warm-cache requests/sec;
@@ -95,10 +106,11 @@ cat > BENCH_harness.json <<EOF
   "armed_overhead_budget_pct": 2.0,
   "stress_quick_tasks_per_sec": $STRESS_TPS,
   "weakscale_64_tasks_per_sec": $WSCALE_TPS,
+  "powercap_heft_tasks_per_sec": $POWERCAP_TPS,
   "serve_load": "1000 clients x 5 requests, 8 distinct configs",
   "serve_warm_rps": $SERVE_RPS,
   "serve_warm_hit_rate": $SERVE_HIT
 }
 EOF
 
-echo "serial ${SERIAL_MS}ms, parallel(${PARALLEL_WORKERS} workers) ${PARALLEL_MS}ms, resilience ${RES_MS}ms (armed overhead ${ARMED_OVERHEAD_PCT}%), stress ${STRESS_TPS} tasks/s, weakscale(64,sharded) ${WSCALE_TPS} tasks/s, serve ${SERVE_RPS} warm req/s (hit rate ${SERVE_HIT}) -> BENCH_harness.json"
+echo "serial ${SERIAL_MS}ms, parallel(${PARALLEL_WORKERS} workers) ${PARALLEL_MS}ms, resilience ${RES_MS}ms (armed overhead ${ARMED_OVERHEAD_PCT}%), stress ${STRESS_TPS} tasks/s, weakscale(64,sharded) ${WSCALE_TPS} tasks/s, powercap(heft) ${POWERCAP_TPS} tasks/s, serve ${SERVE_RPS} warm req/s (hit rate ${SERVE_HIT}) -> BENCH_harness.json"
